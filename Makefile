@@ -1,0 +1,35 @@
+# Developer entry points for the VeCycle reproduction.
+
+.PHONY: install test bench summary examples figures clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Printed tables for every figure, plus the one-page digest.
+figures:
+	python -m repro table1
+	python -m repro fig3
+	python -m repro rates
+	python -m repro fig1
+	python -m repro fig2
+	python -m repro fig4
+	python -m repro fig5
+	python -m repro fig6
+	python -m repro fig7
+	python -m repro fig8
+
+summary:
+	python -m repro summary
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f; done
+
+clean:
+	rm -rf benchmarks/.trace-cache .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

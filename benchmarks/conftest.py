@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at full
+scale and asserts the *shape* of the result (who wins, by roughly what
+factor, where crossovers fall).  Traces are generated once per session
+and cached on disk under ``benchmarks/.trace-cache``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.traces.generate import Trace, generate_or_load
+from repro.traces.presets import MachineSpec
+
+CACHE_DIR = Path(__file__).parent / ".trace-cache"
+
+
+@pytest.fixture(scope="session")
+def trace_cache():
+    """Loader: machine spec -> full-length cached trace."""
+
+    def load(spec: MachineSpec, num_epochs: int | None = None) -> Trace:
+        return generate_or_load(spec, CACHE_DIR, num_epochs=num_epochs)
+
+    return load
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under the benchmark timer.
+
+    The experiments are deterministic end-to-end runs taking seconds;
+    repeating them would only waste wall-clock without changing the
+    regenerated numbers.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,69 @@
+"""Ablation: the destination's checksum index structure (§3.3).
+
+The prototype keeps (checksum, offset) pairs in a sorted list with
+binary search.  This microbenchmark compares that structure against a
+plain dict on realistic lookup workloads — both must return identical
+results; the sorted list is the paper's choice because it is compact
+and cache-friendly, and this bench documents the cost of that choice.
+"""
+
+import numpy as np
+
+from repro.core.checkpoint import ChecksumIndex
+from repro.core.fingerprint import Fingerprint
+
+from benchmarks.conftest import once
+
+NUM_PAGES = 1 << 16
+
+
+def _build_fingerprint(seed=0):
+    rng = np.random.default_rng(seed)
+    hashes = rng.integers(0, NUM_PAGES // 2, size=NUM_PAGES).astype(np.uint64)
+    return Fingerprint(hashes=hashes)
+
+
+def test_sorted_index_lookup(benchmark):
+    fingerprint = _build_fingerprint()
+    index = ChecksumIndex(fingerprint)
+    queries = np.random.default_rng(1).integers(
+        0, NUM_PAGES, size=4096
+    ).astype(np.uint64)
+
+    def lookup_all():
+        return sum(1 for q in queries if index.lookup(int(q)) is not None)
+
+    hits = benchmark(lookup_all)
+    assert 0 < hits < len(queries)
+
+
+def test_dict_index_equivalence(benchmark):
+    fingerprint = _build_fingerprint()
+    index = ChecksumIndex(fingerprint)
+
+    def build_and_check():
+        mapping = {}
+        for slot, value in enumerate(fingerprint.hashes):
+            mapping.setdefault(int(value), slot)
+        queries = np.random.default_rng(1).integers(
+            0, NUM_PAGES, size=4096
+        ).astype(np.uint64)
+        for q in queries:
+            assert (index.lookup(int(q)) is not None) == (int(q) in mapping)
+        return len(mapping)
+
+    unique = once(benchmark, build_and_check)
+    assert unique == len(index)
+
+
+def test_vectorized_membership(benchmark):
+    """The bulk ``contains_many`` path used by the simulator."""
+    fingerprint = _build_fingerprint()
+    index = ChecksumIndex(fingerprint)
+    queries = np.random.default_rng(2).integers(
+        0, NUM_PAGES, size=NUM_PAGES
+    ).astype(np.uint64)
+
+    mask = benchmark(index.contains_many, queries)
+    scalar = np.asarray([index.lookup(int(q)) is not None for q in queries[:512]])
+    assert (mask[:512] == scalar).all()

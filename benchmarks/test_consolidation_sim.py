@@ -1,0 +1,79 @@
+"""System experiment: dynamic workload consolidation (§2.2, Verma [26]).
+
+Runs a bursty 8-VM fleet for three simulated days under the
+threshold-consolidation policy — idle VMs pack onto the consolidation
+server, active ones bounce home — with each migration strategy, and
+compares the aggregate migration traffic.  This is the fleet-level
+version of the paper's claim: consolidation workloads produce exactly
+the ping-pong pattern where checkpoint recycling pays off.
+
+Checkpoint stores sit on SSDs here: the fleet's recalled content lands
+at *different* checkpoint offsets, and the resulting random reads are
+where the ablation (`test_ablation_disks.py`) showed spinning disks
+fall over.
+"""
+
+from repro.cluster.policies import ThresholdConsolidation
+from repro.cluster.simulator import DatacenterSimulator, build_fleet
+from repro.core.strategies import DEDUP, MIYAKODORI_DEDUP, QEMU, VECYCLE_DEDUP
+from repro.net.link import LAN_1GBE
+from repro.storage.disk import SSD_INTEL330
+
+from benchmarks.conftest import once
+
+MIB = 2**20
+EPOCHS = 3 * 48  # three days of half-hour epochs
+STRATEGIES = (QEMU, DEDUP, MIYAKODORI_DEDUP, VECYCLE_DEDUP)
+
+
+def _run():
+    results = {}
+    for strategy in STRATEGIES:
+        fleet, hosts = build_fleet(
+            8, 64 * MIB, num_home_hosts=4, seed=21, disk=SSD_INTEL330
+        )
+        simulator = DatacenterSimulator(
+            fleet, hosts, ThresholdConsolidation(min_idle_epochs=2),
+            strategy, LAN_1GBE, seed=21,
+        )
+        results[strategy.name] = simulator.run(EPOCHS)
+    return results
+
+
+def test_consolidation_simulation(benchmark):
+    results = once(benchmark, _run)
+    print()
+    for report in results.values():
+        print("  " + report.summary())
+
+    # Identical seeds -> identical activity -> identical migration counts.
+    counts = {r.num_migrations for r in results.values()}
+    assert len(counts) == 1
+    assert counts.pop() > 20  # a bursty fleet migrates a lot in 3 days
+
+    qemu = results["qemu"]
+    dedup = results["dedup"]
+    miyakodori = results["miyakodori+dedup"]
+    vecycle = results["vecycle+dedup"]
+
+    # Traffic ordering: full > dedup > checkpoint-based methods.
+    assert qemu.total_tx_bytes > dedup.total_tx_bytes
+    assert dedup.total_tx_bytes > 2 * miyakodori.total_tx_bytes
+    assert dedup.total_tx_bytes > 2 * vecycle.total_tx_bytes
+    # At fleet scale on a LAN the two checkpoint methods are close
+    # (Figure 5 showed single-digit gaps for some machines); VeCycle
+    # additionally pays 25 B checksum messages for every reused page,
+    # so allow it a small byte premium over dirty tracking while both
+    # sit far below dedup.
+    assert vecycle.total_tx_bytes < 1.25 * miyakodori.total_tx_bytes
+
+    # The headline: checkpoint recycling removes most consolidation
+    # traffic relative to full copies.
+    assert qemu.traffic_fraction_of_full > 0.95
+    assert vecycle.traffic_fraction_of_full < 0.30
+
+    # Aggregate migration time shrinks along with the bytes (SSD
+    # checkpoint stores keep the random-read path off the critical
+    # path; see benchmarks/test_ablation_disks.py for the HDD regime).
+    assert vecycle.total_migration_seconds < qemu.total_migration_seconds
+    assert miyakodori.total_migration_seconds < qemu.total_migration_seconds

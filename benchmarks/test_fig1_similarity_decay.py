@@ -1,0 +1,64 @@
+"""Figure 1: similarity vs snapshot gap, six machines, ≤ 24 h.
+
+Paper shape: similarity decreases with the gap; worst case drops below
+~20% quickly; after 24 h the server averages sit between ~20% (Server C,
+benchmarked in fig2) and ~40% (Server B); crawlers fall to ~40% within
+an hour and below ~20% after five.
+"""
+
+import pytest
+
+from repro.analysis.similarity import similarity_decay
+from repro.experiments.fig1_similarity import FIGURE1_MACHINES, format_table
+from repro.traces.presets import CRAWLER_A, CRAWLER_B, LAPTOP_A, LAPTOP_B, SERVER_A, SERVER_B
+
+from benchmarks.conftest import once
+
+
+def _run(trace_cache):
+    results = {}
+    for spec in FIGURE1_MACHINES:
+        trace = trace_cache(spec)
+        results[spec.name] = similarity_decay(
+            trace, max_delta_hours=24.0, max_pairs_per_bin=60
+        )
+    return results
+
+
+def test_fig1_similarity_decay(benchmark, trace_cache):
+    results = once(benchmark, _run, trace_cache)
+    print("\n" + format_table(results))
+
+    for spec in FIGURE1_MACHINES:
+        decay = results[spec.name]
+        # Monotone trend: early similarity beats late similarity.
+        early = decay.at_hours(1)[1]
+        late = decay.at_hours(23)[1]
+        assert early > late, spec.name
+        # Bands are ordered everywhere.
+        populated = decay.counts > 0
+        assert (decay.minimum[populated] <= decay.maximum[populated]).all()
+
+    # Servers: average similarity after 24 h in the paper's 20–50% band.
+    for spec in (SERVER_A, SERVER_B):
+        avg24 = results[spec.name].at_hours(23)[1]
+        assert 0.15 < avg24 < 0.60, (spec.name, avg24)
+    # Server B is the stickiest server (paper: ~40% at 24 h).
+    assert results["Server B"].at_hours(23)[1] > 0.30
+
+    # Laptops: same trends, intermediate levels.
+    for spec in (LAPTOP_A, LAPTOP_B):
+        avg24 = results[spec.name].at_hours(23)[1]
+        assert 0.10 < avg24 < 0.60, (spec.name, avg24)
+
+    # Crawlers (§2.3): ~40% after one hour, below ~20% after five.
+    for spec in (CRAWLER_A, CRAWLER_B):
+        decay = results[spec.name]
+        assert decay.at_hours(1)[1] == pytest.approx(0.40, abs=0.15), spec.name
+        assert decay.at_hours(5)[1] < 0.25, spec.name
+
+    # Worst case drops below ~20% within the day for the busy machines.
+    assert min(
+        results[spec.name].minimum[results[spec.name].counts > 0].min()
+        for spec in (SERVER_A, CRAWLER_A, CRAWLER_B)
+    ) < 0.20

@@ -1,0 +1,52 @@
+"""Figure 4: duplicate-page and zero-page percentages.
+
+Paper shape: servers show 5–20% duplicate pages (Server A lowest and
+stable at ~5–7%, Server C around 20%), laptops a homogeneous 10–20%,
+and zero pages stay below ~5% most of the time — so duplicates are NOT
+mostly zero pages, i.e. stand-alone dedup exploits only a thin slice of
+the redundancy checkpoint recycling reaches.
+"""
+
+from repro.analysis.duplicates import duplicate_series
+from repro.experiments.fig4_duplicates import format_table
+from repro.traces.presets import LAPTOPS, SERVERS
+
+from benchmarks.conftest import once
+
+
+def _run(trace_cache):
+    machines = SERVERS + LAPTOPS[:3]
+    return {spec.name: duplicate_series(trace_cache(spec)) for spec in machines}
+
+
+def test_fig4_duplicates(benchmark, trace_cache):
+    results = once(benchmark, _run, trace_cache)
+    print("\n" + format_table(results))
+
+    # Servers in the 5–30% duplicate band; Server C the highest.
+    for name in ("Server A", "Server B", "Server C"):
+        mean_dup = results[name].mean_duplicate_fraction
+        assert 0.04 < mean_dup < 0.35, (name, mean_dup)
+    assert (
+        results["Server C"].mean_duplicate_fraction
+        > results["Server A"].mean_duplicate_fraction
+    )
+
+    # Laptops: homogeneous duplicate fractions (within a few points).
+    laptop_means = [
+        results[f"Laptop {x}"].mean_duplicate_fraction for x in "ABC"
+    ]
+    assert max(laptop_means) - min(laptop_means) < 0.08
+
+    # Zero pages low (< ~8%) for every machine, and Server C has fewer
+    # zero pages than Server A despite more duplicates (§4.2).
+    for series in results.values():
+        assert series.mean_zero_fraction < 0.08, series.machine
+    assert (
+        results["Server C"].mean_zero_fraction
+        < results["Server A"].mean_zero_fraction
+    )
+
+    # Duplicates exceed zeros: the Figure 4 takeaway.
+    for series in results.values():
+        assert series.mean_duplicate_fraction > series.mean_zero_fraction

@@ -1,0 +1,67 @@
+"""Figure 6: best-case (idle VM) migration time and traffic.
+
+Paper shape: QEMU's time grows linearly with memory size and is
+bandwidth-bound (1 GiB ≈ 10 s LAN, 177 s WAN; 6 GiB ≈ 60 s LAN, ~16 min
+WAN).  VeCycle is ×3–4 faster on the LAN (checksum-bound), one-to-two
+orders of magnitude faster on the WAN, and cuts source traffic by ~2
+orders of magnitude (the −76%/−93% annotations).  Storing the
+checkpoint on SSD instead of HDD does not change migration time (§4.4).
+"""
+
+import pytest
+
+from repro.experiments import fig6_best_case
+from repro.storage.disk import SSD_INTEL330
+
+from benchmarks.conftest import once
+
+
+def test_fig6_best_case(benchmark):
+    rows = once(benchmark, fig6_best_case.run)
+    print("\n" + fig6_best_case.format_table(rows))
+
+    cell = {(r.size_mib, r.link, r.strategy): r for r in rows}
+
+    # Anchor: 1 GiB over the LAN takes ~10 s with stock QEMU.
+    assert cell[(1024, "lan-1gbe", "qemu")].time_s == pytest.approx(10, abs=3)
+    # Anchor: 1 GiB over the WAN takes ~177 s with stock QEMU.
+    assert cell[(1024, "wan-cloudnet", "qemu")].time_s == pytest.approx(177, rel=0.15)
+
+    # Linear growth with memory size for QEMU (bandwidth-bound).
+    for link in ("lan-1gbe", "wan-cloudnet"):
+        t1 = cell[(1024, link, "qemu")].time_s
+        t6 = cell[(6144, link, "qemu")].time_s
+        assert t6 == pytest.approx(6 * t1, rel=0.2), link
+
+    # VeCycle wins ×2.5+ on the LAN, ×10+ on the WAN, at every size.
+    for size in fig6_best_case.PAPER_SIZES_MIB:
+        lan_speedup = (
+            cell[(size, "lan-1gbe", "qemu")].time_s
+            / cell[(size, "lan-1gbe", "vecycle")].time_s
+        )
+        wan_speedup = (
+            cell[(size, "wan-cloudnet", "qemu")].time_s
+            / cell[(size, "wan-cloudnet", "vecycle")].time_s
+        )
+        assert lan_speedup > 2.5, (size, lan_speedup)
+        assert wan_speedup > 10, (size, wan_speedup)
+
+    # Source traffic drops by well over an order of magnitude.
+    for size in fig6_best_case.PAPER_SIZES_MIB:
+        ratio = (
+            cell[(size, "wan-cloudnet", "vecycle")].tx_gib
+            / cell[(size, "wan-cloudnet", "qemu")].tx_gib
+        )
+        assert ratio < 0.10, (size, ratio)
+
+
+def test_fig6_ssd_does_not_change_times(benchmark):
+    """§4.4: repeating the experiment with an SSD checkpoint store."""
+    ssd_rows = once(
+        benchmark, fig6_best_case.run, sizes_mib=(1024, 4096), dest_disk=SSD_INTEL330
+    )
+    hdd_rows = fig6_best_case.run(sizes_mib=(1024, 4096))
+    for ssd, hdd in zip(ssd_rows, hdd_rows):
+        assert ssd.time_s == pytest.approx(hdd.time_s, rel=0.05), (
+            ssd.size_mib, ssd.link, ssd.strategy,
+        )

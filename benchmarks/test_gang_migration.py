@@ -1,0 +1,100 @@
+"""Extension: gang migration (VMFlock/CloudNet cluster semantics).
+
+Related work ([4], [19], [29], [30]) deduplicates across all VMs of a
+migrating cluster; §5 notes these techniques compose with VeCycle.
+This benchmark evacuates an 8-VM rack whose members share a 50% base
+image, sweeping the four redundancy configurations, and checks the
+compounding: cross-VM dedup removes the shared base's repeats,
+checkpoints remove everything a previous visit left behind, and the
+merged-announce variant additionally recycles across VM boundaries when
+some members lack their own checkpoint.
+"""
+
+import numpy as np
+
+from repro.core.checkpoint import Checkpoint
+from repro.core.fingerprint import Fingerprint
+from repro.core.gang import GangMember, gang_transfer_set, shared_base_image_fleet
+
+from benchmarks.conftest import once
+
+NUM_VMS = 8
+PAGES = 16384
+SHARED = 0.5
+
+
+def _build():
+    rng = np.random.default_rng(13)
+    old_states = shared_base_image_fleet(NUM_VMS, PAGES, SHARED, rng)
+    update_pool = rng.integers(2**59, 2**60, size=2048, dtype=np.uint64)
+    current = []
+    for old in old_states:
+        hashes = old.hashes.copy()
+        changed = rng.choice(PAGES, size=int(0.3 * PAGES), replace=False)
+        half = len(changed) // 2
+        hashes[changed[:half]] = rng.choice(update_pool, size=half)
+        hashes[changed[half:]] = rng.integers(
+            2**60, 2**61, size=len(changed) - half, dtype=np.uint64
+        )
+        current.append(Fingerprint(hashes=hashes))
+    return old_states, current
+
+
+def _run():
+    old_states, current = _build()
+    plain = [
+        GangMember(vm_id=f"vm{i}", fingerprint=fp) for i, fp in enumerate(current)
+    ]
+    # Only even-numbered VMs kept a checkpoint at the destination.
+    partial = [
+        GangMember(
+            vm_id=f"vm{i}",
+            fingerprint=fp,
+            checkpoint=(
+                Checkpoint(vm_id=f"vm{i}", fingerprint=old_states[i])
+                if i % 2 == 0
+                else None
+            ),
+        )
+        for i, fp in enumerate(current)
+    ]
+    return {
+        "solo-dedup": gang_transfer_set(plain, cross_vm_dedup=False),
+        "gang-dedup": gang_transfer_set(plain, cross_vm_dedup=True),
+        "gang+own-ckpt": gang_transfer_set(partial, cross_vm_dedup=True),
+        "gang+merged-ckpt": gang_transfer_set(
+            partial, cross_vm_dedup=True, cross_vm_checkpoints=True
+        ),
+    }
+
+
+def test_gang_migration(benchmark):
+    results = once(benchmark, _run)
+    print()
+    for name, result in results.items():
+        print(
+            f"  {name:<18s} full={result.full_pages:6d} "
+            f"({result.page_fraction * 100:5.1f}% of baseline) "
+            f"refs={result.ref_pages:6d} reused={result.reused_pages:6d}"
+        )
+
+    solo = results["solo-dedup"]
+    gang = results["gang-dedup"]
+    own = results["gang+own-ckpt"]
+    merged = results["gang+merged-ckpt"]
+
+    # Cross-VM dedup removes the shared base image's repeats.
+    assert gang.full_pages < 0.75 * solo.full_pages
+    # Checkpoints compound on top of gang dedup.
+    assert own.full_pages < gang.full_pages
+    # Merging announces lets checkpoint-less VMs recycle their
+    # neighbours' shared content: strictly better again.
+    assert merged.full_pages < own.full_pages
+    assert merged.reused_pages > own.reused_pages
+
+    # Conservation: every page is accounted exactly once per config.
+    for result in results.values():
+        assert (
+            result.full_pages + result.ref_pages + result.reused_pages
+            == result.total_pages
+        )

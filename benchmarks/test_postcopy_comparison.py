@@ -1,0 +1,90 @@
+"""Extension: checkpoint recycling under post-copy migration.
+
+The paper's related work cites post-copy ([13], Hines & Gopalan) as an
+orthogonal improvement; VeCycle's checkpoint reuse ports naturally to
+it.  This benchmark compares pre-copy and post-copy, plain and
+checkpoint-assisted, on a moderately busy guest crossing the WAN:
+
+* post-copy's downtime is constant and small, independent of memory
+  size (its signature);
+* recycling the checkpoint shrinks post-copy's degraded phase and its
+  remote-fault count by roughly the similarity factor, exactly as it
+  shrinks pre-copy's traffic.
+"""
+
+import numpy as np
+
+from repro.core.checkpoint import Checkpoint
+from repro.core.strategies import QEMU, VECYCLE
+from repro.migration.postcopy import simulate_postcopy
+from repro.migration.precopy import PrecopyConfig, simulate_migration
+from repro.migration.vm import SimVM
+from repro.net.link import WAN_CLOUDNET
+
+from benchmarks.conftest import once
+
+MIB = 2**20
+
+
+def _vm(seed=7):
+    vm = SimVM("vm", 1024 * MIB, dirty_rate_pages_per_s=300,
+               working_set_fraction=0.1, seed=seed)
+    vm.image.write_fresh(np.arange(vm.num_pages))
+    return vm
+
+
+def _run():
+    results = {}
+    for label, assisted in (("plain", False), ("recycled", True)):
+        # Pre-copy.
+        vm = _vm()
+        checkpoint = Checkpoint(
+            vm_id="vm", fingerprint=vm.fingerprint(),
+            generation_vector=vm.tracker.snapshot(),
+        ) if assisted else None
+        vm.run_for(1800)
+        results[("precopy", label)] = simulate_migration(
+            vm, VECYCLE if assisted else QEMU, WAN_CLOUDNET,
+            checkpoint=checkpoint, config=PrecopyConfig(announce_known=True),
+        )
+        # Post-copy.
+        vm = _vm()
+        checkpoint = Checkpoint(
+            vm_id="vm", fingerprint=vm.fingerprint()
+        ) if assisted else None
+        vm.run_for(1800)
+        results[("postcopy", label)] = simulate_postcopy(
+            vm, VECYCLE if assisted else QEMU, WAN_CLOUDNET, checkpoint=checkpoint,
+        )
+    return results
+
+
+def test_postcopy_comparison(benchmark):
+    results = once(benchmark, _run)
+    print()
+    for key, report in sorted(results.items()):
+        print(f"  {key[0]:>8s}/{key[1]:<9s} {report.summary()}")
+
+    pre_plain = results[("precopy", "plain")]
+    pre_rec = results[("precopy", "recycled")]
+    post_plain = results[("postcopy", "plain")]
+    post_rec = results[("postcopy", "recycled")]
+
+    # Post-copy's downtime beats pre-copy's for this busy WAN guest...
+    assert post_plain.downtime_s < pre_plain.downtime_s
+    # ...and is unchanged by checkpoint recycling (it is CPU-state only).
+    assert post_rec.downtime_s == post_plain.downtime_s
+
+    # Recycling cuts bytes for both migration styles by a similar factor.
+    pre_cut = pre_rec.tx_bytes / pre_plain.tx_bytes
+    post_cut = post_rec.tx_bytes / post_plain.tx_bytes
+    assert pre_cut < 0.5 and post_cut < 0.5
+
+    # The degraded phase shrinks with the checkpoint: fewer remote
+    # faults and a faster fill.
+    assert post_rec.remote_faults < post_plain.remote_faults / 2
+    assert post_rec.fill_time_s < post_plain.fill_time_s / 2
+
+    # Total traffic: post-copy never retransmits dirty pages, so it
+    # undercuts pre-copy on this write-active guest.
+    assert post_plain.tx_bytes <= pre_plain.tx_bytes

@@ -1,0 +1,23 @@
+"""Table 1: the traced-system catalog."""
+
+from repro.experiments import table1
+
+from benchmarks.conftest import once
+
+
+def test_table1_catalog(benchmark):
+    rows = once(benchmark, table1.run)
+    print("\n" + table1.format_table(rows))
+
+    by_name = {row["name"]: row for row in rows}
+    # Table 1's six Memory Buddies systems with the paper's RAM sizes.
+    assert by_name["Server A"]["ram_gib"] == 1
+    assert by_name["Server B"]["ram_gib"] == 4
+    assert by_name["Server C"]["ram_gib"] == 8
+    for laptop in ("Laptop A", "Laptop B", "Laptop C", "Laptop D"):
+        assert by_name[laptop]["ram_gib"] == 2
+        assert by_name[laptop]["os"] == "OSX"
+    # §2.3: one fingerprint every 30 minutes over one week = 336.
+    assert by_name["Server A"]["fingerprints_possible"] == 336
+    # §4.6: the desktop trace spans 19 days (912 fingerprints).
+    assert by_name["Desktop"]["fingerprints_possible"] == 912

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Listing 1 on real bytes: the mini-hypervisor migration protocol.
+
+Everything here is real: guest RAM is a byte buffer, the checkpoint is
+a file on disk, checksums are actual MD5 digests, and the destination
+merges exactly like the paper's Listing 1 — verify the local page's
+checksum, and on mismatch binary-search the checksum index and read the
+page from the checkpoint file at its old offset.
+
+Run:  python examples/byte_level_protocol.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.vmm.guest import GuestRAM, mutate_random_pages, relocate_pages
+from repro.vmm.migrate import run_migration, write_checkpoint
+
+NUM_PAGES = 512  # 2 MiB guest — small enough to hash byte-for-byte
+
+
+def populated_guest(seed: int = 0) -> GuestRAM:
+    ram = GuestRAM(NUM_PAGES)
+    for page in range(NUM_PAGES):
+        ram.write_pattern(page, seed=seed * 10_000 + page)
+    return ram
+
+
+def report(title: str, result) -> None:
+    print(f"\n--- {title} ---")
+    print(f"pages sent in full:        {result.send.pages_full}")
+    print(f"pages as checksum only:    {result.send.pages_checksum_only}")
+    print(f"  reused in place:         {result.merge.pages_reused_in_place}")
+    print(f"  reused via disk seek:    {result.merge.pages_reused_from_disk}")
+    print(f"bytes on the wire:         {result.tx_bytes:,}")
+    print(f"destination byte-identical: {result.identical}")
+    assert result.identical
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint_path = Path(tmp) / "vm0.ckpt"
+
+        guest = populated_guest()
+        written = write_checkpoint(guest, checkpoint_path)
+        print(f"checkpoint written: {written:,} bytes at {checkpoint_path}")
+
+        # Scenario 1: the guest did not change at all (idle VM).
+        report("idle guest (100% similarity)",
+               run_migration(populated_guest(), checkpoint_path))
+
+        # Scenario 2: a quarter of the pages were overwritten.
+        guest = populated_guest()
+        mutate_random_pages(guest, 0.25, rng)
+        report("25% of pages updated", run_migration(guest, checkpoint_path))
+
+        # Scenario 3: nothing changed, but the kernel moved pages
+        # around — dirty tracking would resend them; checksums find the
+        # content at its old checkpoint offset instead.
+        guest = populated_guest()
+        relocate_pages(guest, np.arange(NUM_PAGES), rng)
+        report("all pages relocated, none modified",
+               run_migration(guest, checkpoint_path))
+
+        # Scenario 4: first visit — no checkpoint available.
+        report("first visit (no checkpoint)",
+               run_migration(populated_guest(), checkpoint_path=None))
+
+
+if __name__ == "__main__":
+    main()

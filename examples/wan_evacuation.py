@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""WAN evacuation: vacate a rack to a remote site, then come home.
+
+Models the maintenance use case from the paper's introduction — all VMs
+must temporarily leave a server (here: cross a CloudNet-parameter WAN to
+a sister data center) and return a few hours later.  The rack hosts a
+mix of activity levels, from near-idle to crawler-hot, so the benefit
+of checkpoint recycling varies per VM exactly as §2.3 predicts.
+
+Run:  python examples/wan_evacuation.py
+"""
+
+import numpy as np
+
+from repro import Host, QEMU, VECYCLE_DEDUP, WAN_CLOUDNET, migrate_between_hosts
+from repro.migration.vm import SimVM
+
+MIB = 2**20
+
+# (name, memory MiB, dirty pages/s, working-set fraction)
+RACK = (
+    ("build-server-idle", 1024, 2, 0.02),
+    ("web-frontend", 512, 60, 0.10),
+    ("database", 1024, 150, 0.15),
+    ("batch-crawler", 512, 1200, 0.50),
+)
+
+MAINTENANCE_HOURS = 4
+
+
+def build_vm(name, size_mib, dirty_rate, wss, seed):
+    vm = SimVM(
+        name,
+        memory_bytes=size_mib * MIB,
+        dirty_rate_pages_per_s=dirty_rate,
+        working_set_fraction=wss,
+        seed=seed,
+    )
+    vm.image.write_fresh(np.arange(vm.num_pages))
+    return vm
+
+
+def evacuate_and_return(strategy):
+    home = Host(name="home-rack")
+    remote = Host(name="remote-dc")
+    out_tx = back_tx = back_time = 0.0
+    per_vm = []
+    for seed, (name, size_mib, dirty_rate, wss) in enumerate(RACK):
+        vm = build_vm(name, size_mib, dirty_rate, wss, seed)
+        vm.run_for(3600)  # an hour of service before the maintenance
+        out = migrate_between_hosts(vm, home, remote, strategy, WAN_CLOUDNET)
+        out_tx += out.tx_bytes
+        vm.run_for(MAINTENANCE_HOURS * 3600)  # keeps serving remotely
+        back = migrate_between_hosts(vm, remote, home, strategy, WAN_CLOUDNET)
+        back_tx += back.tx_bytes
+        back_time += back.total_time_s
+        per_vm.append((name, back))
+    return out_tx, back_tx, back_time, per_vm
+
+
+def main() -> None:
+    for strategy in (QEMU, VECYCLE_DEDUP):
+        out_tx, back_tx, back_time, per_vm = evacuate_and_return(strategy)
+        print(f"\n=== strategy: {strategy.name} ===")
+        print(f"evacuation traffic:       {out_tx / MIB:8.0f} MiB (no checkpoints yet)")
+        print(f"return traffic:           {back_tx / MIB:8.0f} MiB")
+        print(f"return migration time:    {back_time:8.0f} s  (sum over rack)")
+        for name, report in per_vm:
+            print(
+                f"   {name:<18s} tx {report.tx_bytes / MIB:7.1f} MiB  "
+                f"time {report.total_time_s:7.1f}s  "
+                f"similarity {report.similarity:.2f}"
+            )
+    print(
+        "\nNote how the idle build server returns almost for free while the"
+        "\ncrawler — §2.3's worst case — gains little: the benefit tracks"
+        "\neach VM's memory churn during the maintenance window."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Trace analytics: similarity decay, duplicates, methods, terminal plots."""
+
+from repro.analysis.asciiplot import bar_chart, cdf_plot, line_plot
+from repro.analysis.duplicates import DuplicateSeries, duplicate_series
+from repro.analysis.methods import MethodComparison, cdf, compare_methods_over_trace
+from repro.analysis.similarity import SimilarityDecay, similarity_decay
+
+__all__ = [
+    "bar_chart",
+    "cdf_plot",
+    "line_plot",
+    "DuplicateSeries",
+    "duplicate_series",
+    "MethodComparison",
+    "cdf",
+    "compare_methods_over_trace",
+    "SimilarityDecay",
+    "similarity_decay",
+]

@@ -1,0 +1,117 @@
+"""Terminal plots for the CLI: render figure series without matplotlib.
+
+The benchmark environment is headless and dependency-light, so the CLI
+renders the paper's figures as ASCII — good enough to eyeball the decay
+curves, CDFs, and bar charts that the numbers tables summarize.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+def line_plot(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_range: Optional[tuple[float, float]] = None,
+) -> str:
+    """Plot one or more y-series against shared x values.
+
+    Each series gets a distinct marker; NaN points are skipped.
+
+    Raises:
+        ValueError: on empty input or mismatched lengths.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    x = np.asarray(x, dtype=float)
+    if x.size == 0:
+        raise ValueError("x must not be empty")
+    markers = "*o+x#@%&"
+    arrays = {}
+    for name, values in series.items():
+        values = np.asarray(values, dtype=float)
+        if values.shape != x.shape:
+            raise ValueError(
+                f"series {name!r} has {values.shape[0]} points, x has {x.shape[0]}"
+            )
+        arrays[name] = values
+
+    stacked = np.concatenate([v[~np.isnan(v)] for v in arrays.values()])
+    if stacked.size == 0:
+        raise ValueError("all series are NaN")
+    if y_range is not None:
+        y_min, y_max = y_range
+    else:
+        y_min, y_max = float(stacked.min()), float(stacked.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x.min()), float(x.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(arrays.items()):
+        marker = markers[index % len(markers)]
+        for xv, yv in zip(x, values):
+            if np.isnan(yv):
+                continue
+            col = int((xv - x_min) / (x_max - x_min) * (width - 1))
+            row = int((yv - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        y_value = y_max - (y_max - y_min) * row_index / (height - 1)
+        lines.append(f"{y_value:8.2f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + f"{x_min:<10.1f}" + " " * max(0, width - 20) + f"{x_max:>10.1f}"
+    )
+    if x_label:
+        lines.append(" " * 10 + x_label)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(arrays)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Dict[str, float], width: int = 48, unit: str = ""
+) -> str:
+    """Horizontal bars, one per labelled value (Figure 5's left panel)."""
+    if not values:
+        raise ValueError("need at least one bar")
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(name) for name in values)
+    lines = []
+    for name, value in values.items():
+        bar = "#" * max(0, int(value / peak * width))
+        lines.append(f"{name:<{label_width}s} |{bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    values: Sequence[float], width: int = 64, height: int = 12, x_label: str = ""
+) -> str:
+    """Empirical CDF of ``values`` (Figure 5's center/right panels)."""
+    data = np.sort(np.asarray(values, dtype=float))
+    if data.size == 0:
+        raise ValueError("values must not be empty")
+    probabilities = np.arange(1, data.size + 1) / data.size
+    return line_plot(
+        data,
+        {"CDF": probabilities},
+        width=width,
+        height=height,
+        x_label=x_label,
+        y_range=(0.0, 1.0),
+    )

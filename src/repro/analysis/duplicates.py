@@ -1,0 +1,48 @@
+"""Duplicate-page and zero-page time series (Figure 4).
+
+Section 4.2 defines the fraction of duplicate pages as
+``1 - unique_hashes / total_pages`` — the redundancy a sender-side
+deduplicator can exploit — and shows it alongside the zero-page fraction
+to demonstrate that duplicates are *not* mostly zero pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.generate import Trace
+
+
+@dataclass(frozen=True)
+class DuplicateSeries:
+    """Per-fingerprint duplicate/zero statistics for one machine."""
+
+    machine: str
+    hours: np.ndarray
+    duplicate_fraction: np.ndarray
+    zero_fraction: np.ndarray
+
+    @property
+    def mean_duplicate_fraction(self) -> float:
+        return float(self.duplicate_fraction.mean())
+
+    @property
+    def mean_zero_fraction(self) -> float:
+        return float(self.zero_fraction.mean())
+
+
+def duplicate_series(trace: Trace) -> DuplicateSeries:
+    """Compute the Figure 4 time series for one trace."""
+    if not trace.fingerprints:
+        raise ValueError("trace has no fingerprints")
+    hours = np.asarray([fp.timestamp / 3600.0 for fp in trace.fingerprints])
+    duplicates = np.asarray([fp.duplicate_fraction() for fp in trace.fingerprints])
+    zeros = np.asarray([fp.zero_fraction() for fp in trace.fingerprints])
+    return DuplicateSeries(
+        machine=trace.machine,
+        hours=hours,
+        duplicate_fraction=duplicates,
+        zero_fraction=zeros,
+    )

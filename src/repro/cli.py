@@ -1,0 +1,379 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    vecycle table1
+    vecycle fig1 [--epochs N] [--plot]
+    vecycle fig2 [--plot]
+    vecycle fig4
+    vecycle fig5 [--pairs N] [--plot]
+    vecycle fig6 [--sizes 1024,2048] [--quick]
+    vecycle fig7
+    vecycle fig8
+    vecycle rates
+    vecycle summary [--full]
+    vecycle migrate --size-mib 1024 --strategy vecycle --link wan-cloudnet
+    vecycle postcopy --size-mib 1024 --link wan-cloudnet
+    vecycle consolidate [--vms 8] [--days 3]
+    vecycle gang [--vms 8] [--shared 0.5]
+
+(also reachable as ``python -m repro ...``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.checkpoint import Checkpoint
+from repro.core.strategies import available_strategies, get_strategy
+from repro.experiments import (
+    fig1_similarity,
+    fig3_taxonomy,
+    fig2_week,
+    fig4_duplicates,
+    fig5_methods,
+    fig6_best_case,
+    fig7_updates,
+    fig8_vdi,
+    rates,
+    summary,
+    table1,
+)
+from repro.mem.mutation import boot_populate
+from repro.migration.precopy import simulate_migration
+from repro.migration.vm import SimVM
+from repro.net.link import PRESETS as LINK_PRESETS, get_link
+
+MIB = 2**20
+
+
+def _cmd_table1(_args: argparse.Namespace) -> str:
+    return table1.format_table(table1.run())
+
+
+def _cmd_fig1(args: argparse.Namespace) -> str:
+    results = fig1_similarity.run(num_epochs=args.epochs)
+    output = fig1_similarity.format_table(results)
+    if getattr(args, "plot", False):
+        from repro.analysis.asciiplot import line_plot
+
+        charts = []
+        for name, decay in results.items():
+            charts.append(f"\n{name}:")
+            charts.append(
+                line_plot(
+                    decay.bin_hours,
+                    {
+                        "min": decay.minimum,
+                        "avg": decay.average,
+                        "max": decay.maximum,
+                    },
+                    x_label="hours between snapshots",
+                    y_range=(0.0, 1.0),
+                )
+            )
+        output += "\n" + "\n".join(charts)
+    return output
+
+
+def _cmd_fig2(args: argparse.Namespace) -> str:
+    decay = fig2_week.run(num_epochs=args.epochs)
+    output = fig2_week.format_table(decay)
+    if getattr(args, "plot", False):
+        from repro.analysis.asciiplot import line_plot
+
+        output += "\n" + line_plot(
+            decay.bin_hours,
+            {"min": decay.minimum, "avg": decay.average, "max": decay.maximum},
+            x_label="hours between snapshots",
+            y_range=(0.0, 1.0),
+        )
+    return output
+
+
+def _cmd_fig3(_args: argparse.Namespace) -> str:
+    return fig3_taxonomy.format_table(fig3_taxonomy.run())
+
+
+def _cmd_fig4(args: argparse.Namespace) -> str:
+    return fig4_duplicates.format_table(fig4_duplicates.run(num_epochs=args.epochs))
+
+
+def _cmd_fig5(args: argparse.Namespace) -> str:
+    result = fig5_methods.run(num_epochs=args.epochs, max_pairs=args.pairs)
+    output = fig5_methods.format_table(result)
+    if getattr(args, "plot", False):
+        from repro.analysis.asciiplot import bar_chart, cdf_plot
+
+        bars = {m.value: v for m, v in result.bar_fractions("Server A").items()}
+        output += "\n\nServer A, fraction of baseline traffic:\n"
+        output += bar_chart(bars)
+        output += "\n\nServer B, reduction of hashes+dedup over dirty+dedup:\n"
+        output += cdf_plot(result.reduction_cdf("Server B"), x_label="reduction [%]")
+    return output
+
+
+def _cmd_postcopy(args: argparse.Namespace) -> str:
+    from repro.core.checkpoint import Checkpoint
+    from repro.migration.postcopy import simulate_postcopy
+
+    link = get_link(args.link)
+    lines = []
+    for strategy_name in ("qemu", "vecycle"):
+        strategy = get_strategy(strategy_name)
+        vm = SimVM(
+            "cli-vm", args.size_mib * MIB,
+            dirty_rate_pages_per_s=args.dirty_rate, seed=args.seed,
+        )
+        boot_populate(
+            vm.image, np.random.default_rng(args.seed),
+            used_fraction=0.95, duplicate_fraction=0.08, zero_fraction=0.03,
+        )
+        checkpoint = None
+        if strategy.reuses_checkpoint:
+            checkpoint = Checkpoint(vm_id=vm.vm_id, fingerprint=vm.fingerprint())
+            vm.run_for(1800)
+        lines.append(
+            simulate_postcopy(vm, strategy, link, checkpoint=checkpoint).summary()
+        )
+    return "\n".join(lines)
+
+
+def _cmd_consolidate(args: argparse.Namespace) -> str:
+    from repro.cluster.policies import ThresholdConsolidation
+    from repro.cluster.simulator import DatacenterSimulator, build_fleet
+    from repro.storage.disk import SSD_INTEL330
+
+    lines = []
+    for strategy_name in ("qemu", "dedup", "miyakodori+dedup", "vecycle+dedup"):
+        fleet, hosts = build_fleet(
+            args.vms, 64 * MIB, num_home_hosts=max(1, args.vms // 2),
+            seed=args.seed, disk=SSD_INTEL330,
+        )
+        simulator = DatacenterSimulator(
+            fleet, hosts, ThresholdConsolidation(),
+            get_strategy(strategy_name), get_link(args.link), seed=args.seed,
+        )
+        lines.append(simulator.run(args.days * 48).summary())
+    return "\n".join(lines)
+
+
+def _cmd_gang(args: argparse.Namespace) -> str:
+    from repro.core.checkpoint import Checkpoint
+    from repro.core.gang import GangMember, gang_transfer_set, shared_base_image_fleet
+
+    rng = np.random.default_rng(args.seed)
+    old_states = shared_base_image_fleet(
+        args.vms, 16384, shared_fraction=args.shared, rng=rng
+    )
+    # The fleet kept running since the checkpoints were taken: 40% of
+    # each VM's pages changed — half to *common* new content (a base
+    # image update rolled out everywhere), half to private fresh data.
+    from repro.core.fingerprint import Fingerprint
+
+    update_pool = rng.integers(2**59, 2**60, size=4096, dtype=np.uint64)
+    current_states = []
+    for old in old_states:
+        hashes = old.hashes.copy()
+        changed = rng.choice(len(hashes), size=int(0.4 * len(hashes)), replace=False)
+        half = len(changed) // 2
+        hashes[changed[:half]] = rng.choice(update_pool, size=half)
+        hashes[changed[half:]] = rng.integers(
+            2**60, 2**61, size=len(changed) - half, dtype=np.uint64
+        )
+        current_states.append(Fingerprint(hashes=hashes))
+    members = [
+        GangMember(vm_id=f"vm{i}", fingerprint=fingerprint)
+        for i, fingerprint in enumerate(current_states)
+    ]
+    with_checkpoints = [
+        GangMember(
+            vm_id=m.vm_id,
+            fingerprint=m.fingerprint,
+            checkpoint=Checkpoint(vm_id=m.vm_id, fingerprint=old),
+        )
+        for m, old in zip(members, old_states)
+    ]
+    lines = [f"gang of {args.vms} VMs, {args.shared:.0%} shared base image:"]
+    for label, gang, kwargs in (
+        ("per-VM dedup only", members, dict(cross_vm_dedup=False)),
+        ("cross-VM dedup", members, dict(cross_vm_dedup=True)),
+        ("cross-VM dedup + checkpoints", with_checkpoints, dict(cross_vm_dedup=True)),
+        (
+            "merged checkpoints (cross-VM recycle)",
+            with_checkpoints,
+            dict(cross_vm_dedup=True, cross_vm_checkpoints=True),
+        ),
+    ):
+        result = gang_transfer_set(gang, **kwargs)
+        lines.append(
+            f"  {label:<36s} full={result.full_pages:6d} "
+            f"refs={result.ref_pages:6d} reused={result.reused_pages:6d} "
+            f"({result.page_fraction * 100:5.1f}% of baseline)"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_fig6(args: argparse.Namespace) -> str:
+    sizes = (
+        tuple(int(s) for s in args.sizes.split(","))
+        if args.sizes
+        else ((1024, 2048) if args.quick else fig6_best_case.PAPER_SIZES_MIB)
+    )
+    return fig6_best_case.format_table(fig6_best_case.run(sizes_mib=sizes))
+
+
+def _cmd_fig7(args: argparse.Namespace) -> str:
+    memory = 1024 if args.quick else 4096
+    return fig7_updates.format_table(fig7_updates.run(memory_mib=memory))
+
+
+def _cmd_fig8(args: argparse.Namespace) -> str:
+    return fig8_vdi.format_table(fig8_vdi.run(num_epochs=args.epochs))
+
+
+def _cmd_summary(args: argparse.Namespace) -> str:
+    return summary.format_table(summary.run(quick=not args.full))
+
+
+def _cmd_rates(_args: argparse.Namespace) -> str:
+    return rates.format_table(rates.run())
+
+
+def _cmd_migrate(args: argparse.Namespace) -> str:
+    strategy = get_strategy(args.strategy)
+    link = get_link(args.link)
+    vm = SimVM.idle("cli-vm", args.size_mib * MIB, seed=args.seed)
+    boot_populate(
+        vm.image,
+        np.random.default_rng(args.seed),
+        used_fraction=0.95,
+        duplicate_fraction=0.08,
+        zero_fraction=0.03,
+    )
+    checkpoint = None
+    if strategy.reuses_checkpoint:
+        checkpoint = Checkpoint(vm_id=vm.vm_id, fingerprint=vm.fingerprint())
+        if args.updates_percent:
+            slots = vm.image.sample_slots(
+                int(vm.num_pages * args.updates_percent / 100),
+                np.random.default_rng(args.seed + 1),
+            )
+            vm.write_slots(slots)
+    report = simulate_migration(vm, strategy, link, checkpoint=checkpoint)
+    lines = [report.summary()]
+    lines.append(
+        f"pages: full={report.pages_full} ref={report.pages_ref} "
+        f"checksum-only={report.pages_checksum_only} skipped={report.pages_skipped}"
+    )
+    if strategy.reuses_checkpoint:
+        lines.append(
+            f"similarity to checkpoint: {report.similarity:.3f}; reused "
+            f"{report.pages_reused_in_place} in place, "
+            f"{report.pages_reused_from_disk} from disk"
+        )
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``vecycle`` argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="vecycle",
+        description="VeCycle reproduction: regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table 1: traced systems").set_defaults(
+        func=_cmd_table1
+    )
+    sub.add_parser(
+        "fig3", help="method taxonomy as a worked example"
+    ).set_defaults(func=_cmd_fig3)
+    for name, func, help_text, plottable in (
+        ("fig1", _cmd_fig1, "similarity decay, 6 machines, <=24h", True),
+        ("fig2", _cmd_fig2, "Server C similarity over the full week", True),
+        ("fig4", _cmd_fig4, "duplicate/zero page percentages", False),
+        ("fig8", _cmd_fig8, "VDI consolidation replay", False),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--epochs", type=int, default=None,
+                       help="trace length override (30-min epochs)")
+        if plottable:
+            p.add_argument("--plot", action="store_true",
+                           help="render ASCII charts as well")
+        p.set_defaults(func=func)
+
+    p5 = sub.add_parser("fig5", help="traffic-reduction method comparison")
+    p5.add_argument("--epochs", type=int, default=None)
+    p5.add_argument("--pairs", type=int, default=500,
+                    help="fingerprint pairs sampled per machine (0 = all)")
+    p5.add_argument("--plot", action="store_true",
+                    help="render ASCII charts as well")
+    p5.set_defaults(func=_cmd_fig5)
+
+    p6 = sub.add_parser("fig6", help="best-case idle-VM migrations")
+    p6.add_argument("--sizes", default=None, help="comma-separated MiB sizes")
+    p6.add_argument("--quick", action="store_true", help="small sizes only")
+    p6.set_defaults(func=_cmd_fig6)
+
+    p7 = sub.add_parser("fig7", help="controlled update-rate sweep")
+    p7.add_argument("--quick", action="store_true", help="1 GiB VM instead of 4 GiB")
+    p7.set_defaults(func=_cmd_fig7)
+
+    sub.add_parser("rates", help="checksum rate vs wire rate (§3.4)").set_defaults(
+        func=_cmd_rates
+    )
+
+    ps = sub.add_parser("summary", help="one-page reproduction digest")
+    ps.add_argument("--full", action="store_true",
+                    help="full-scale traces and VM sizes (slower)")
+    ps.set_defaults(func=_cmd_summary)
+
+    pm = sub.add_parser("migrate", help="simulate one migration")
+    pm.add_argument("--size-mib", type=int, default=1024)
+    pm.add_argument("--strategy", choices=available_strategies(), default="vecycle")
+    pm.add_argument("--link", choices=sorted(LINK_PRESETS), default="lan-1gbe")
+    pm.add_argument("--updates-percent", type=float, default=0.0,
+                    help="memory updated since the checkpoint")
+    pm.add_argument("--seed", type=int, default=0)
+    pm.set_defaults(func=_cmd_migrate)
+
+    pp = sub.add_parser("postcopy", help="post-copy migration comparison")
+    pp.add_argument("--size-mib", type=int, default=1024)
+    pp.add_argument("--link", choices=sorted(LINK_PRESETS), default="wan-cloudnet")
+    pp.add_argument("--dirty-rate", type=float, default=200.0,
+                    help="guest page writes per second")
+    pp.add_argument("--seed", type=int, default=0)
+    pp.set_defaults(func=_cmd_postcopy)
+
+    pc = sub.add_parser("consolidate", help="fleet consolidation simulation")
+    pc.add_argument("--vms", type=int, default=8)
+    pc.add_argument("--days", type=int, default=3)
+    pc.add_argument("--link", choices=sorted(LINK_PRESETS), default="lan-1gbe")
+    pc.add_argument("--seed", type=int, default=21)
+    pc.set_defaults(func=_cmd_consolidate)
+
+    pg = sub.add_parser("gang", help="gang migration with cross-VM redundancy")
+    pg.add_argument("--vms", type=int, default=8)
+    pg.add_argument("--shared", type=float, default=0.5,
+                    help="fraction of each VM that is shared base image")
+    pg.add_argument("--seed", type=int, default=0)
+    pg.set_defaults(func=_cmd_gang)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``vecycle`` console script."""
+    args = build_parser().parse_args(argv)
+    if getattr(args, "pairs", None) == 0:
+        args.pairs = None
+    print(args.func(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Physical hosts with local checkpoint stores.
+
+Each host keeps (a) a :class:`~repro.core.checkpoint.CheckpointStore`
+holding one checkpoint per VM that ever left it, and (b) the §3.2
+ping-pong bookkeeping: while receiving an incoming migration a host
+records the page checksums it sees, so on a later *outgoing* migration
+back to the same peer it already knows the set of pages existing there
+and can skip the bulk checksum announce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set, Tuple
+
+from repro.core.checkpoint import Checkpoint, CheckpointStore
+from repro.storage.disk import Disk, HDD_HD204UI
+
+
+@dataclass
+class Host:
+    """One physical server in the simulated cluster.
+
+    Attributes:
+        name: Unique host name.
+        disk: Where checkpoints live (HDD by default; the paper found
+            HDD vs SSD made no difference, §4.4).
+        store: The local checkpoint store.
+    """
+
+    name: str
+    disk: Disk = HDD_HD204UI
+    store: CheckpointStore = field(default_factory=CheckpointStore)
+    _known_peer_hashes: Set[Tuple[str, str]] = field(default_factory=set)
+
+    def checkpoint_for(self, vm_id: str) -> Optional[Checkpoint]:
+        """The locally stored checkpoint for ``vm_id``, if any."""
+        return self.store.get(vm_id)
+
+    def save_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """Persist an outgoing VM's checkpoint on the local disk."""
+        self.store.store(checkpoint)
+
+    def learn_peer_hashes(self, vm_id: str, peer: str) -> None:
+        """Record that we know which of ``vm_id``'s pages exist at ``peer``.
+
+        Called after completing a migration in either direction: the
+        sender knows what it sent, the receiver tracked the incoming
+        pages and their checksums (§3.2).
+        """
+        self._known_peer_hashes.add((vm_id, peer))
+
+    def knows_peer_hashes(self, vm_id: str, peer: str) -> bool:
+        """Whether the §3.2 ping-pong shortcut applies for this pair."""
+        return (vm_id, peer) in self._known_peer_hashes
+
+    def forget_peer(self, peer: str) -> None:
+        """Drop all bookkeeping about ``peer`` (e.g. peer re-imaged)."""
+        self._known_peer_hashes = {
+            entry for entry in self._known_peer_hashes if entry[1] != peer
+        }

@@ -1,0 +1,122 @@
+"""Migration schedules: when a VM moves, and between which hosts.
+
+The paper's use cases (§2.2, §4.6) share a pattern: the VM oscillates
+between two hosts — a user's workstation and a consolidation server
+(virtual desktop infrastructure), or two cluster hosts under dynamic
+workload consolidation.  A schedule is a list of
+:class:`MigrationEvent` entries ordered by time.
+
+Trace-time convention: trace hour 0 is midnight, and trace **day 0 is a
+Tuesday** (the workload generator warms up for exactly one day, shifting
+its Monday-based week by one).  :func:`weekday_of_trace_day` encodes
+this so schedules align with the activity model's office hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+def weekday_of_trace_day(trace_day: int) -> bool:
+    """True when ``trace_day`` falls on a weekday (day 0 = Tuesday)."""
+    if trace_day < 0:
+        raise ValueError(f"trace_day must be >= 0, got {trace_day}")
+    return (trace_day + 1) % 7 < 5
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One scheduled migration.
+
+    Attributes:
+        time_hours: Trace time of the migration, in hours from start.
+        source: Departing host's name.
+        destination: Receiving host's name.
+    """
+
+    time_hours: float
+    source: str
+    destination: str
+
+
+def ping_pong_schedule(
+    interval_hours: float,
+    num_migrations: int,
+    host_a: str = "host-a",
+    host_b: str = "host-b",
+    start_hours: float = 0.0,
+) -> List[MigrationEvent]:
+    """A fixed-interval back-and-forth schedule between two hosts.
+
+    Models the dominant pattern Birke et al. observed: 68% of VMs visit
+    just two servers, often in a ping-pong (§1).
+    """
+    if interval_hours <= 0:
+        raise ValueError(f"interval_hours must be > 0, got {interval_hours}")
+    if num_migrations <= 0:
+        raise ValueError(f"num_migrations must be > 0, got {num_migrations}")
+    events = []
+    location = host_a
+    for index in range(num_migrations):
+        other = host_b if location == host_a else host_a
+        events.append(
+            MigrationEvent(
+                time_hours=start_hours + index * interval_hours,
+                source=location,
+                destination=other,
+            )
+        )
+        location = other
+    return events
+
+
+def vdi_schedule(
+    trace_days: int,
+    max_weekdays: int = 13,
+    morning_hour: float = 9.0,
+    evening_hour: float = 17.0,
+    workstation: str = "workstation",
+    server: str = "consolidation-server",
+) -> List[MigrationEvent]:
+    """The §4.6 virtual-desktop schedule.
+
+    Two migrations per weekday: the desktop VM moves from the
+    consolidation server to the user's workstation when the user arrives
+    (9 am) and back in the late afternoon (5 pm).  No migrations on
+    weekends.  The paper's 19-day trace yields 13 weekdays and hence 26
+    migrations; ``max_weekdays`` reproduces that cap.
+
+    The VM is assumed to start on the consolidation server (it spent the
+    night before the trace there), so the very first migration — like
+    the paper's — finds no checkpoint anywhere and transfers everything.
+    """
+    if trace_days <= 0:
+        raise ValueError(f"trace_days must be > 0, got {trace_days}")
+    if not 0 <= morning_hour < evening_hour <= 24:
+        raise ValueError(
+            f"need 0 <= morning ({morning_hour}) < evening ({evening_hour}) <= 24"
+        )
+    events = []
+    weekdays_used = 0
+    for day in range(trace_days):
+        if not weekday_of_trace_day(day):
+            continue
+        if weekdays_used >= max_weekdays:
+            break
+        events.append(
+            MigrationEvent(
+                time_hours=day * 24 + morning_hour,
+                source=server,
+                destination=workstation,
+            )
+        )
+        events.append(
+            MigrationEvent(
+                time_hours=day * 24 + evening_hour,
+                source=workstation,
+                destination=server,
+            )
+        )
+        weekdays_used += 1
+    return events

@@ -1,0 +1,233 @@
+"""Checkpoints and the destination-side checksum index.
+
+Section 3.3: when a host prepares for an incoming migration it reads the
+old checkpoint file sequentially, initializing guest RAM, and while doing
+so records *one checksum per 4 KiB block together with the file offset*
+in a sorted list, "such that we can use binary search to quickly find the
+offset for a given checksum".
+
+:class:`ChecksumIndex` is that structure (sorted hash array + offsets,
+binary search via :func:`numpy.searchsorted`).  :class:`Checkpoint` is a
+stored VM memory snapshot with its index, and :class:`CheckpointStore`
+is the per-host collection of checkpoints, one per VM the host has seen
+(the "store a checkpoint at each visited server" policy, with an
+optional capacity bound and LRU eviction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.checksum import PAGE_SIZE
+from repro.core.fingerprint import Fingerprint
+
+
+class ChecksumIndex:
+    """Sorted checksum → file-offset index over a checkpoint's pages.
+
+    For duplicate contents, the index keeps the offset of the *first*
+    slot holding that content — any copy is as good as another for
+    reconstructing a page (Listing 1's ``lookup(checksum)``).
+    """
+
+    def __init__(self, fingerprint: Fingerprint) -> None:
+        hashes = fingerprint.hashes
+        order = np.argsort(hashes, kind="stable")
+        sorted_hashes = hashes[order]
+        # Keep the first occurrence of each distinct hash.
+        keep = np.ones(sorted_hashes.shape[0], dtype=bool)
+        keep[1:] = sorted_hashes[1:] != sorted_hashes[:-1]
+        self._hashes = sorted_hashes[keep]
+        self._slots = order[keep]
+
+    def __len__(self) -> int:
+        return int(self._hashes.shape[0])
+
+    def __contains__(self, page_hash: int) -> bool:
+        return self.lookup(page_hash) is not None
+
+    def lookup(self, page_hash: int) -> Optional[int]:
+        """Binary-search for ``page_hash``; return its page slot or None."""
+        page_hash = np.uint64(page_hash)
+        pos = int(np.searchsorted(self._hashes, page_hash))
+        if pos < len(self._hashes) and self._hashes[pos] == page_hash:
+            return int(self._slots[pos])
+        return None
+
+    def lookup_offset(self, page_hash: int) -> Optional[int]:
+        """Byte offset of ``page_hash`` in the checkpoint file, or None."""
+        slot = self.lookup(page_hash)
+        return None if slot is None else slot * PAGE_SIZE
+
+    def contains_many(self, hashes: np.ndarray) -> np.ndarray:
+        """Vectorized membership test for an array of hashes."""
+        hashes = np.asarray(hashes, dtype=np.uint64)
+        pos = np.searchsorted(self._hashes, hashes)
+        pos = np.clip(pos, 0, len(self._hashes) - 1) if len(self._hashes) else pos
+        if len(self._hashes) == 0:
+            return np.zeros(hashes.shape, dtype=bool)
+        return self._hashes[pos] == hashes
+
+    @property
+    def unique_hashes(self) -> np.ndarray:
+        """The sorted distinct hashes — what the destination announces (§3.2)."""
+        view = self._hashes.view()
+        view.flags.writeable = False
+        return view
+
+
+@dataclass
+class Checkpoint:
+    """A stored memory snapshot of one VM on one host.
+
+    Attributes:
+        vm_id: Which VM this checkpoint belongs to.
+        fingerprint: The per-page content hashes at checkpoint time.
+        generation_vector: Optional per-slot generation counters captured
+            alongside the checkpoint (Miyakodori's mechanism, §4.3).
+        index: Lazily built :class:`ChecksumIndex`.
+    """
+
+    vm_id: str
+    fingerprint: Fingerprint
+    generation_vector: Optional[np.ndarray] = None
+    _index: Optional[ChecksumIndex] = field(default=None, repr=False)
+
+    @property
+    def index(self) -> ChecksumIndex:
+        if self._index is None:
+            self._index = ChecksumIndex(self.fingerprint)
+        return self._index
+
+    @property
+    def size_bytes(self) -> int:
+        """On-disk size: the full memory image (one block per slot)."""
+        return self.fingerprint.num_pages * PAGE_SIZE
+
+    @property
+    def timestamp(self) -> float:
+        return self.fingerprint.timestamp
+
+
+class CheckpointStore:
+    """Per-host checkpoint storage with optional capacity bound.
+
+    The paper argues local storage is "cheap and abundant", so the
+    default is unbounded; a ``capacity_bytes`` bound with LRU eviction is
+    provided for the consolidation-server case where one host stores
+    checkpoints for many desktops.
+    """
+
+    def __init__(self, capacity_bytes: Optional[int] = None) -> None:
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError(f"capacity_bytes must be > 0, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._checkpoints: Dict[str, Checkpoint] = {}
+        self._clock = 0
+        self._last_used: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    def __contains__(self, vm_id: str) -> bool:
+        return vm_id in self._checkpoints
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(cp.size_bytes for cp in self._checkpoints.values())
+
+    def store(self, checkpoint: Checkpoint) -> None:
+        """Store (or replace) the checkpoint for ``checkpoint.vm_id``.
+
+        A newer checkpoint of the same VM replaces the old one — the
+        paper keeps one checkpoint per (VM, host) pair.  If a capacity
+        bound is set, least-recently-used checkpoints of *other* VMs are
+        evicted to make room.
+
+        Raises:
+            ValueError: if the checkpoint alone exceeds the capacity.
+        """
+        if self.capacity_bytes is not None:
+            if checkpoint.size_bytes > self.capacity_bytes:
+                raise ValueError(
+                    f"checkpoint of {checkpoint.size_bytes} bytes exceeds "
+                    f"store capacity {self.capacity_bytes}"
+                )
+            self._checkpoints.pop(checkpoint.vm_id, None)
+            while self.used_bytes + checkpoint.size_bytes > self.capacity_bytes:
+                victim = min(self._last_used, key=self._last_used.get)
+                self.evict(victim)
+        self._clock += 1
+        self._checkpoints[checkpoint.vm_id] = checkpoint
+        self._last_used[checkpoint.vm_id] = self._clock
+
+    def get(self, vm_id: str) -> Optional[Checkpoint]:
+        """The stored checkpoint for ``vm_id``, or None; refreshes LRU."""
+        checkpoint = self._checkpoints.get(vm_id)
+        if checkpoint is not None:
+            self._clock += 1
+            self._last_used[vm_id] = self._clock
+        return checkpoint
+
+    def evict(self, vm_id: str) -> None:
+        """Drop the checkpoint for ``vm_id``; silently ignores unknown ids."""
+        self._checkpoints.pop(vm_id, None)
+        self._last_used.pop(vm_id, None)
+
+    def vm_ids(self) -> list[str]:
+        """Sorted ids of all VMs with a stored checkpoint."""
+        return sorted(self._checkpoints)
+
+    def save(self, path: Path | str) -> None:
+        """Persist the store's checkpoints to a compressed ``.npz``.
+
+        A host reboot must not lose its recycling state — the stored
+        fingerprints, timestamps, and Miyakodori generation vectors all
+        survive the round trip.  (In a real deployment the page *bytes*
+        live in the per-VM checkpoint files; this persists the
+        metadata the migration logic consults.)
+        """
+        path = Path(path)
+        arrays: Dict[str, np.ndarray] = {}
+        names = []
+        for index, vm_id in enumerate(self.vm_ids()):
+            checkpoint = self._checkpoints[vm_id]
+            names.append(vm_id)
+            arrays[f"hashes{index:04d}"] = checkpoint.fingerprint.hashes
+            arrays[f"ts{index:04d}"] = np.asarray(checkpoint.fingerprint.timestamp)
+            if checkpoint.generation_vector is not None:
+                arrays[f"gen{index:04d}"] = checkpoint.generation_vector
+        np.savez_compressed(
+            path,
+            vm_ids=np.asarray(names),
+            capacity=np.asarray(self.capacity_bytes or -1),
+            **arrays,
+        )
+
+    @classmethod
+    def load(cls, path: Path | str) -> "CheckpointStore":
+        """Restore a store previously written by :meth:`save`."""
+        with np.load(Path(path)) as data:
+            capacity = int(data["capacity"])
+            store = cls(capacity_bytes=None if capacity < 0 else capacity)
+            for index, vm_id in enumerate(data["vm_ids"]):
+                generation_key = f"gen{index:04d}"
+                store.store(
+                    Checkpoint(
+                        vm_id=str(vm_id),
+                        fingerprint=Fingerprint(
+                            hashes=data[f"hashes{index:04d}"],
+                            timestamp=float(data[f"ts{index:04d}"]),
+                        ),
+                        generation_vector=(
+                            data[generation_key]
+                            if generation_key in data.files
+                            else None
+                        ),
+                    )
+                )
+            return store

@@ -1,0 +1,79 @@
+"""Sender-side deduplication (the CloudNet-style baseline).
+
+Section 4.2: CloudNet deduplicates at the migration source.  The sender
+hashes each outgoing page; if the hash matches a previously *sent* page
+and the pages are byte-identical, only a small index into the receiver's
+cache is sent instead of the full page.  Because both the original page
+and its candidate match live at the sender, a weak hash plus a local
+byte comparison suffices — no strong checksum needed.
+
+:class:`DedupCache` models this per-migration cache.  The cost model
+charges :data:`DEDUP_REF_BYTES` for a cache-hit reference, matching the
+small fixed-size index CloudNet sends.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+import numpy as np
+
+DEDUP_REF_BYTES = 8
+"""Wire size of a 'page equals cache entry N' reference message."""
+
+
+class DedupCache:
+    """Tracks which page contents have already been sent this migration."""
+
+    def __init__(self) -> None:
+        self._seen: Set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def offer(self, content_hash: int) -> bool:
+        """Record an outgoing page; return True if it was already sent.
+
+        A True return means the sender may transmit a reference instead
+        of the full page.
+        """
+        content_hash = int(content_hash)
+        if content_hash in self._seen:
+            return True
+        self._seen.add(content_hash)
+        return False
+
+    def reset(self) -> None:
+        """Clear the cache — dedup state does not survive a migration."""
+        self._seen.clear()
+
+
+def dedup_unique_count(hashes: Iterable[int] | np.ndarray) -> int:
+    """Number of full pages a dedup-only sender transmits.
+
+    Equal to the number of *distinct* contents among the outgoing pages:
+    the first occurrence of each content goes over the wire in full,
+    every repeat becomes a reference.
+    """
+    array = np.asarray(list(hashes) if not isinstance(hashes, np.ndarray) else hashes)
+    if array.size == 0:
+        return 0
+    return int(np.unique(array).shape[0])
+
+
+def dedup_split(hashes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split outgoing page slots into (full-page sends, reference sends).
+
+    Args:
+        hashes: Content hash per outgoing page, in send order.
+
+    Returns:
+        ``(full_mask, ref_mask)`` boolean masks over the input: the first
+        occurrence of each content is a full send, repeats are references.
+    """
+    hashes = np.asarray(hashes)
+    full_mask = np.zeros(hashes.shape[0], dtype=bool)
+    if hashes.size:
+        _, first_indices = np.unique(hashes, return_index=True)
+        full_mask[first_indices] = True
+    return full_mask, ~full_mask

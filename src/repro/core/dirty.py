@@ -1,0 +1,90 @@
+"""Dirty-page tracking and Miyakodori-style generation vectors.
+
+Section 4.3 describes Miyakodori: each page slot has a *generation
+counter* incremented when the page is written after a migration.  On an
+outgoing migration the source stores a checkpoint plus the generation
+vector; on a later incoming migration, slots whose generation counter
+still matches the stored vector are known-clean and need not be
+transferred.
+
+Dirty tracking is location-based: a page whose content merely *moved* to
+another slot looks dirty (both slots changed) even though the content
+still exists at the destination — the overestimation Figure 5 measures
+against content-based redundancy elimination.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fingerprint import Fingerprint
+
+
+class GenerationTracker:
+    """Per-slot write-generation counters for one VM.
+
+    The simulator calls :meth:`record_writes` for every mutated slot
+    (hypervisors get this from hardware dirty bits / write protection).
+    """
+
+    def __init__(self, num_pages: int) -> None:
+        if num_pages <= 0:
+            raise ValueError(f"num_pages must be > 0, got {num_pages}")
+        self._generations = np.zeros(num_pages, dtype=np.int64)
+
+    @property
+    def num_pages(self) -> int:
+        return int(self._generations.shape[0])
+
+    @property
+    def generations(self) -> np.ndarray:
+        view = self._generations.view()
+        view.flags.writeable = False
+        return view
+
+    def record_writes(self, slots: np.ndarray) -> None:
+        """Bump the generation counter of every written slot."""
+        slots = np.asarray(slots, dtype=np.int64)
+        if slots.size and (slots.min() < 0 or slots.max() >= self.num_pages):
+            raise IndexError("slot index out of range")
+        # A slot written several times in one epoch still only advances
+        # as many times as it appears here; only equality vs the snapshot
+        # matters, so duplicates are harmless.
+        np.add.at(self._generations, slots, 1)
+
+    def snapshot(self) -> np.ndarray:
+        """The generation vector to store alongside a checkpoint."""
+        return self._generations.copy()
+
+    def dirty_since(self, snapshot_vector: np.ndarray) -> np.ndarray:
+        """Slots whose generation changed since ``snapshot_vector``."""
+        snapshot_vector = np.asarray(snapshot_vector, dtype=np.int64)
+        if snapshot_vector.shape != self._generations.shape:
+            raise ValueError(
+                "generation vector shape mismatch: "
+                f"{snapshot_vector.shape} vs {self._generations.shape}"
+            )
+        return np.nonzero(self._generations != snapshot_vector)[0]
+
+    def clean_since(self, snapshot_vector: np.ndarray) -> np.ndarray:
+        """Slots untouched since ``snapshot_vector`` (reusable for free)."""
+        snapshot_vector = np.asarray(snapshot_vector, dtype=np.int64)
+        if snapshot_vector.shape != self._generations.shape:
+            raise ValueError(
+                "generation vector shape mismatch: "
+                f"{snapshot_vector.shape} vs {self._generations.shape}"
+            )
+        return np.nonzero(self._generations == snapshot_vector)[0]
+
+
+def content_dirty_slots(current: Fingerprint, checkpoint: Fingerprint) -> np.ndarray:
+    """Trace proxy for dirty tracking: slots whose *content* changed.
+
+    The Memory Buddies traces carry no hardware dirty bits, so the paper
+    declares a page dirty "if its content changed between the two
+    fingerprints" (§4.3).  Note this proxy is *tighter* than real dirty
+    tracking (a write that restores the old bytes counts as clean), so
+    trace-based dirty-tracking results are an optimistic bound — exactly
+    the conservative direction for showing VeCycle's advantage.
+    """
+    return current.dirty_slots(since=checkpoint)

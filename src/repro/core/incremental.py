@@ -1,0 +1,95 @@
+"""Incremental checkpoint maintenance at the migration source.
+
+The paper's source writes a *full* checkpoint of the departing VM
+(§4.4 excludes its cost from the migration time but it is real work: a
+sequential write of the whole RAM).  When the host already holds an
+older checkpoint of the same VM, most of that write is redundant —
+unchanged pages are already on disk.  This extension updates the stored
+checkpoint *in place*: only slots whose content changed since the old
+checkpoint are rewritten, cutting the disk-write volume by the
+similarity factor, at the price of random rather than sequential I/O.
+
+:func:`plan_checkpoint_update` computes the update plan and
+:func:`update_cost_seconds` evaluates when in-place beats rewrite for a
+given disk — on an SSD almost always; on the HDD only above a
+crossover similarity, because 75-IOPS random writes are expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.checksum import PAGE_SIZE
+from repro.core.fingerprint import Fingerprint
+from repro.storage.disk import Disk
+
+
+@dataclass(frozen=True)
+class CheckpointUpdatePlan:
+    """What an in-place checkpoint update must write.
+
+    Attributes:
+        changed_slots: Slot numbers whose stored page must be rewritten.
+        num_pages: Total slots in the checkpoint.
+    """
+
+    changed_slots: np.ndarray
+    num_pages: int
+
+    @property
+    def num_changed(self) -> int:
+        return int(len(self.changed_slots))
+
+    @property
+    def write_bytes(self) -> int:
+        return self.num_changed * PAGE_SIZE
+
+    @property
+    def unchanged_fraction(self) -> float:
+        if self.num_pages == 0:
+            return 0.0
+        return 1.0 - self.num_changed / self.num_pages
+
+
+def plan_checkpoint_update(
+    current: Fingerprint, stored: Fingerprint
+) -> CheckpointUpdatePlan:
+    """Slots to rewrite so the stored checkpoint matches ``current``.
+
+    Slot-level comparison (not content-level): a page whose content
+    moved must still be rewritten at its new offset, because checkpoint
+    files are indexed by slot.
+    """
+    if current.num_pages != stored.num_pages:
+        raise ValueError(
+            f"page count mismatch: {current.num_pages} vs {stored.num_pages}"
+        )
+    return CheckpointUpdatePlan(
+        changed_slots=current.dirty_slots(since=stored),
+        num_pages=current.num_pages,
+    )
+
+
+def full_rewrite_seconds(num_pages: int, disk: Disk) -> float:
+    """Cost of the paper's baseline: sequentially rewrite everything."""
+    if num_pages < 0:
+        raise ValueError(f"num_pages must be >= 0, got {num_pages}")
+    return disk.sequential_write_time(num_pages * PAGE_SIZE)
+
+
+def update_cost_seconds(plan: CheckpointUpdatePlan, disk: Disk) -> float:
+    """Cost of the in-place update: random writes of the changed slots.
+
+    Modelled with the disk's random-read IOPS as a proxy for random
+    writes (symmetric for the drives in §4.1 at 4 KiB granularity).
+    """
+    return disk.random_read_time(plan.num_changed)
+
+
+def should_update_in_place(plan: CheckpointUpdatePlan, disk: Disk) -> bool:
+    """True when the in-place update beats a full sequential rewrite."""
+    return update_cost_seconds(plan, disk) < full_rewrite_seconds(
+        plan.num_pages, disk
+    )

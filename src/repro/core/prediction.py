@@ -1,0 +1,196 @@
+"""Predicting checkpoint usefulness from observed similarity decay.
+
+An extension the paper motivates but leaves open: §2.3 shows each
+machine has a characteristic similarity-decay curve, and §2.4 argues
+the *expected payoff* of recycling depends on where on that curve a
+migration lands.  A production system should therefore learn, per VM,
+how quickly similarity decays — and skip the checksum machinery when a
+checkpoint is too stale to pay for its own overhead.
+
+:class:`SimilarityPredictor` fits the decay model the traces follow::
+
+    s(age) = floor + (1 - floor) * exp(-age / tau)
+
+to observed ``(checkpoint age, measured similarity)`` samples — every
+completed VeCycle migration yields one for free.  The fit is a small
+grid search (robust, no scipy dependency).  :class:`AdaptiveSelector`
+turns predictions into a strategy decision by comparing the predicted
+byte savings against the strategy's fixed costs (bulk announce +
+checksum CPU time expressed as wire-equivalent bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.checksum import PAGE_SIZE
+from repro.core.strategies import MigrationStrategy, QEMU, VECYCLE
+from repro.net.link import Link
+
+
+@dataclass
+class SimilarityPredictor:
+    """Online estimator of one VM's similarity-decay curve.
+
+    Attributes:
+        max_samples: Sliding-window size; old workload behaviour ages
+            out as the VM's role changes.
+        default_floor / default_tau_s: The curve assumed before any
+            observations arrive (conservative: modest floor, hours-scale
+            decay, roughly the paper's server average).
+    """
+
+    max_samples: int = 64
+    default_floor: float = 0.2
+    default_tau_s: float = 6 * 3600.0
+    _samples: List[Tuple[float, float]] = field(default_factory=list)
+    _floor: float = field(default=-1.0)
+    _tau: float = field(default=-1.0)
+
+    def __post_init__(self) -> None:
+        if self.max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {self.max_samples}")
+        self._floor = self.default_floor
+        self._tau = self.default_tau_s
+
+    @property
+    def num_samples(self) -> int:
+        return len(self._samples)
+
+    @property
+    def floor(self) -> float:
+        """Fitted long-delta similarity plateau."""
+        return self._floor
+
+    @property
+    def tau_s(self) -> float:
+        """Fitted decay time constant in seconds."""
+        return self._tau
+
+    def observe(self, age_s: float, similarity: float) -> None:
+        """Record one (checkpoint age, measured similarity) sample.
+
+        Every checkpoint-assisted migration produces one: the
+        destination knows the checkpoint's timestamp and measures the
+        actual reuse.
+
+        Raises:
+            ValueError: on a negative age or a similarity outside [0, 1].
+        """
+        if age_s < 0:
+            raise ValueError(f"age_s must be >= 0, got {age_s}")
+        if not 0.0 <= similarity <= 1.0:
+            raise ValueError(f"similarity must be in [0, 1], got {similarity}")
+        self._samples.append((age_s, similarity))
+        if len(self._samples) > self.max_samples:
+            self._samples.pop(0)
+        self._refit()
+
+    def _refit(self) -> None:
+        if len(self._samples) < 3:
+            return
+        ages = np.asarray([s[0] for s in self._samples])
+        values = np.asarray([s[1] for s in self._samples])
+        floors = np.linspace(0.0, min(0.95, values.min() + 0.05), 20)
+        taus = np.geomspace(600.0, 14 * 86400.0, 40)
+        best = (float("inf"), self._floor, self._tau)
+        for floor in floors:
+            # exp(-age/tau) matrix evaluated lazily per tau.
+            for tau in taus:
+                predicted = floor + (1 - floor) * np.exp(-ages / tau)
+                error = float(((predicted - values) ** 2).sum())
+                if error < best[0]:
+                    best = (error, float(floor), float(tau))
+        _, self._floor, self._tau = best
+
+    def predict(self, age_s: float) -> float:
+        """Expected similarity of a checkpoint ``age_s`` seconds old."""
+        if age_s < 0:
+            raise ValueError(f"age_s must be >= 0, got {age_s}")
+        return self._floor + (1 - self._floor) * float(np.exp(-age_s / self._tau))
+
+
+@dataclass(frozen=True)
+class SelectionDecision:
+    """Why the selector picked what it picked."""
+
+    strategy: MigrationStrategy
+    predicted_similarity: float
+    predicted_recycle_s: float
+    baseline_s: float
+
+    @property
+    def use_checkpoint(self) -> bool:
+        return self.strategy.reuses_checkpoint
+
+    @property
+    def predicted_speedup(self) -> float:
+        """Baseline time over predicted recycling time."""
+        if self.predicted_recycle_s <= 0:
+            return float("inf")
+        return self.baseline_s / self.predicted_recycle_s
+
+
+@dataclass(frozen=True)
+class AdaptiveSelector:
+    """Choose per-migration between VeCycle and a plain migration.
+
+    Uses the same pipelined timing model as the simulator: a recycling
+    migration's first round runs at the *slower* of the checksum rate
+    and the residual-page wire rate (checksumming overlaps the
+    transfer, §3.4), plus the bulk announce when the ping-pong shortcut
+    does not apply.  Recycling wins when that predicted time beats a
+    plain full copy by the ``hysteresis`` factor.
+
+    Two regimes fall out naturally:
+
+    * on fast links (≥10 GbE with MD5) the checksum floor alone exceeds
+      the full-copy time, so recycling is *never* worth it — §3.4's
+      lower-bound observation as a policy;
+    * on slow links the decision reduces to the predicted similarity
+      clearing ``1 - 1/hysteresis``.
+
+    Attributes:
+        recycle: Strategy used when the checkpoint looks worthwhile.
+        fallback: Strategy used otherwise.
+        hysteresis: Required baseline/recycle time ratio (>1 biases
+            toward the simple path when the call is close).
+    """
+
+    recycle: MigrationStrategy = VECYCLE
+    fallback: MigrationStrategy = QEMU
+    hysteresis: float = 1.2
+
+    def decide(
+        self,
+        predictor: SimilarityPredictor,
+        checkpoint_age_s: float,
+        memory_bytes: int,
+        link: Link,
+        announce_known: bool = False,
+    ) -> SelectionDecision:
+        """Pick a strategy for one upcoming migration."""
+        if memory_bytes <= 0:
+            raise ValueError(f"memory_bytes must be > 0, got {memory_bytes}")
+        similarity = predictor.predict(checkpoint_age_s)
+
+        baseline_s = memory_bytes / link.effective_bandwidth
+        checksum_floor_s = self.recycle.checksum.seconds_for(memory_bytes)
+        residual_wire_s = (1.0 - similarity) * baseline_s
+        announce_s = 0.0
+        if not announce_known:
+            num_pages = memory_bytes // PAGE_SIZE
+            announce_bytes = num_pages * self.recycle.checksum.digest_size
+            announce_s = announce_bytes / link.effective_bandwidth
+        predicted_recycle_s = max(checksum_floor_s, residual_wire_s) + announce_s
+
+        worthwhile = predicted_recycle_s * self.hysteresis < baseline_s
+        return SelectionDecision(
+            strategy=self.recycle if worthwhile else self.fallback,
+            predicted_similarity=similarity,
+            predicted_recycle_s=predicted_recycle_s,
+            baseline_s=baseline_s,
+        )

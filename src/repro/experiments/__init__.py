@@ -1,0 +1,36 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each module exposes ``run(...)`` returning a structured result and
+``format_table(result)`` rendering the same rows/series the paper
+reports.  The CLI (:mod:`repro.cli`) and the benchmark harness
+(``benchmarks/``) both call into these drivers, so the numbers printed
+by ``vecycle fig6`` are the numbers the benchmarks assert on.
+"""
+
+from repro.experiments import (  # noqa: F401
+    fig1_similarity,
+    fig3_taxonomy,
+    fig2_week,
+    fig4_duplicates,
+    fig5_methods,
+    fig6_best_case,
+    fig7_updates,
+    fig8_vdi,
+    rates,
+    summary,
+    table1,
+)
+
+__all__ = [
+    "fig1_similarity",
+    "fig3_taxonomy",
+    "fig2_week",
+    "fig4_duplicates",
+    "fig5_methods",
+    "fig6_best_case",
+    "fig7_updates",
+    "fig8_vdi",
+    "rates",
+    "summary",
+    "table1",
+]

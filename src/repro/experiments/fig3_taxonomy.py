@@ -1,0 +1,115 @@
+"""Figure 3: the method taxonomy, as a worked example.
+
+Figure 3 is a conceptual diagram — "each method identifies a distinct
+set of pages to transfer".  This driver regenerates it as an executable
+demonstration: a small, hand-readable VM state and checkpoint where
+every inclusion of the taxonomy is visible in actual page numbers:
+
+* pages only *dedup* elides (intra-VM duplicates of transferred pages),
+* pages only *dirty tracking* elides (untouched since the checkpoint),
+* pages only *content hashes* elide (rewritten with recalled content,
+  or relocated),
+* and pages nothing elides (genuinely new content).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.fingerprint import Fingerprint
+from repro.core.transfer import Method, compare_methods
+
+
+@dataclass(frozen=True)
+class TaxonomyExample:
+    """The worked example: states plus per-method transfer pages."""
+
+    checkpoint: Fingerprint
+    current: Fingerprint
+    description: Dict[int, str]
+    full_pages: Dict[Method, int]
+
+
+def build_example() -> TaxonomyExample:
+    """A 12-page VM covering every cell of the taxonomy.
+
+    Layout (slot: checkpoint -> current):
+
+    * 0–3: unchanged (clean; every checkpoint method skips them)
+    * 4:   relocated — holds slot 5's old content (dirty, hash-reusable)
+    * 5:   recalled — re-read content that slot 6 held at checkpoint
+           time (dirty, hash-reusable)
+    * 6–7: fresh content, both slots identical (dirty, hash-missing,
+           dedup halves them)
+    * 8:   fresh unique content (only a full transfer helps)
+    * 9:   duplicates slot 0's unchanged content (dirty for tracking,
+           free for hashes, also dedup-able against slot 0? no — slot 0
+           is never *sent*, so sender dedup cannot reference it; hashes
+           can)
+    * 10–11: zero pages on both sides (clean, duplicates of each other)
+    """
+    checkpoint = np.asarray(
+        [101, 102, 103, 104, 105, 106, 107, 108, 109, 110, 0, 0],
+        dtype=np.uint64,
+    )
+    current = checkpoint.copy()
+    current[4] = checkpoint[5]   # relocated content
+    current[5] = checkpoint[6]   # recalled content
+    current[6] = 900             # fresh, duplicated
+    current[7] = 900
+    current[8] = 901             # fresh, unique
+    current[9] = checkpoint[0]   # duplicate of an unchanged page
+    description = {
+        0: "unchanged", 1: "unchanged", 2: "unchanged", 3: "unchanged",
+        4: "relocated (content of old slot 5)",
+        5: "recalled (content of old slot 6)",
+        6: "fresh, duplicate of slot 7",
+        7: "fresh, duplicate of slot 6",
+        8: "fresh, unique",
+        9: "rewritten as copy of unchanged slot 0",
+        10: "zero page", 11: "zero page",
+    }
+    current_fp = Fingerprint(hashes=current)
+    checkpoint_fp = Fingerprint(hashes=checkpoint)
+    results = compare_methods(current_fp, checkpoint_fp, methods=tuple(Method))
+    return TaxonomyExample(
+        checkpoint=checkpoint_fp,
+        current=current_fp,
+        description=description,
+        full_pages={method: ts.full_pages for method, ts in results.items()},
+    )
+
+
+def run() -> TaxonomyExample:
+    """Build the worked taxonomy example."""
+    return build_example()
+
+
+def format_table(example: TaxonomyExample) -> str:
+    """Render the per-slot roles and per-method transfer counts."""
+    lines: List[str] = ["Worked example (12 pages):"]
+    for slot, what in example.description.items():
+        lines.append(f"  slot {slot:2d}: {what}")
+    lines.append("")
+    lines.append("Pages each method transfers in full:")
+    for method in (
+        Method.FULL,
+        Method.DEDUP,
+        Method.DIRTY,
+        Method.DIRTY_DEDUP,
+        Method.HASHES,
+        Method.HASHES_DEDUP,
+    ):
+        lines.append(f"  {method.value:>14s}: {example.full_pages[method]:2d} / 12")
+    lines.append("")
+    lines.append(
+        "Reading guide: dirty tracking cannot skip slots 4/5/9 (written,\n"
+        "but content already at the destination); dedup cannot elide\n"
+        "slot 9 (its twin, slot 0, is never sent); only content hashes\n"
+        "catch both.  Slots 6-8 are genuinely new: hashes sends all\n"
+        "three, hashes+dedup collapses the 6/7 twins."
+    )
+    return "\n".join(lines)

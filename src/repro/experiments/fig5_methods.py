@@ -1,0 +1,81 @@
+"""Figure 5: traffic-reduction comparison across methods.
+
+Left panel: average fraction of baseline traffic per method for
+Server A (paper: dedup 0.92, hashes 0.65, dirty+dedup 0.77, dirty 0.80,
+hashes+dedup 0.64).  Center/right panels: per-machine CDFs of the
+percentage reduction of hashes+dedup over dirty+dedup, for the servers
+and the laptops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.methods import MethodComparison, compare_methods_over_trace
+from repro.core.transfer import Method, PAPER_METHODS
+from repro.traces.generate import generate_trace
+from repro.traces.presets import LAPTOPS, MachineSpec, SERVERS
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    """Everything Figure 5 plots."""
+
+    comparisons: Dict[str, MethodComparison]
+
+    def bar_fractions(self, machine: str = "Server A") -> Dict[Method, float]:
+        """Left panel: mean fraction of baseline per method."""
+        comparison = self.comparisons[machine]
+        return {m: comparison.mean_fraction(m) for m in comparison.methods}
+
+    def reduction_cdf(self, machine: str) -> np.ndarray:
+        """Per-pair % reduction of hashes+dedup over dirty+dedup."""
+        return self.comparisons[machine].reduction_over()
+
+
+def run(
+    machines: Sequence[MachineSpec] = SERVERS + LAPTOPS,
+    num_epochs: Optional[int] = None,
+    max_pairs: Optional[int] = 500,
+    seed: int = 0,
+) -> Figure5Result:
+    """Evaluate the five paper methods over each machine's pairs.
+
+    ``max_pairs`` subsamples the quadratic pair set; None evaluates all
+    pairs exactly like the paper.
+    """
+    comparisons = {}
+    for spec in machines:
+        trace = generate_trace(spec, num_epochs=num_epochs)
+        comparisons[spec.name] = compare_methods_over_trace(
+            trace, methods=PAPER_METHODS, max_pairs=max_pairs, seed=seed
+        )
+    return Figure5Result(comparisons=comparisons)
+
+
+def format_table(result: Figure5Result) -> str:
+    """Render the per-method means and the reduction-CDF percentiles."""
+    lines = ["Mean fraction of baseline traffic per method:"]
+    header = f"{'Machine':<12s}" + "".join(
+        f" {m.value:>14s}" for m in PAPER_METHODS
+    )
+    lines += [header, "-" * len(header)]
+    for name, comparison in result.comparisons.items():
+        lines.append(
+            f"{name:<12s}"
+            + "".join(f" {comparison.mean_fraction(m):14.2f}" for m in PAPER_METHODS)
+        )
+    lines.append("")
+    lines.append("Reduction of hashes+dedup over dirty+dedup (per-pair CDF):")
+    lines.append(f"{'Machine':<12s} {'p10':>6s} {'p50':>6s} {'p90':>6s}")
+    for name in result.comparisons:
+        reduction = result.reduction_cdf(name)
+        lines.append(
+            f"{name:<12s} {np.percentile(reduction, 10):5.1f}% "
+            f"{np.percentile(reduction, 50):5.1f}% "
+            f"{np.percentile(reduction, 90):5.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""One-page reproduction digest: every headline claim, quickly.
+
+``vecycle summary`` runs reduced-scale versions of the key experiments
+(seconds, not the benchmark suite's minutes) and prints a pass/fail
+digest of the paper's headline claims.  Useful as a smoke check after
+changing the models, and as a table of contents for the full harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.transfer import Method
+from repro.experiments import (
+    fig1_similarity,
+    fig5_methods,
+    fig6_best_case,
+    fig7_updates,
+    fig8_vdi,
+)
+from repro.traces.presets import CRAWLER_A, SERVER_A, SERVER_B
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checked claim: description, measured value, verdict."""
+
+    source: str
+    text: str
+    measured: str
+    holds: bool
+
+
+def run(quick: bool = True) -> List[Claim]:
+    """Evaluate the headline claims; ``quick`` shrinks traces/VMs."""
+    claims: List[Claim] = []
+    epochs = 96 if quick else None
+    pairs = 150 if quick else 600
+
+    decay = fig1_similarity.run(
+        machines=(SERVER_A, SERVER_B, CRAWLER_A),
+        num_epochs=epochs,
+        max_pairs_per_bin=25,
+    )
+    avg24 = decay["Server B"].at_hours(23)[1]
+    claims.append(
+        Claim(
+            source="§2.3 / Fig 1",
+            text="servers stay 20-50% similar after 24h",
+            measured=f"Server B avg @24h = {avg24:.2f}",
+            holds=0.20 <= avg24 <= 0.60,
+        )
+    )
+    crawler1h = decay["Crawler A"].at_hours(1)[1]
+    claims.append(
+        Claim(
+            source="§2.3",
+            text="crawlers fall to ~40% within an hour",
+            measured=f"Crawler A avg @1h = {crawler1h:.2f}",
+            holds=0.25 <= crawler1h <= 0.55,
+        )
+    )
+
+    fig5 = fig5_methods.run(machines=(SERVER_A,), num_epochs=epochs, max_pairs=pairs)
+    bars = fig5.bar_fractions("Server A")
+    claims.append(
+        Claim(
+            source="§4.3 / Fig 5",
+            text="hashes < dirty tracking < dedup (pages transferred)",
+            measured=(
+                f"hashes {bars[Method.HASHES]:.2f} < dirty {bars[Method.DIRTY]:.2f}"
+                f" < dedup {bars[Method.DEDUP]:.2f}"
+            ),
+            holds=bars[Method.HASHES] < bars[Method.DIRTY] < bars[Method.DEDUP],
+        )
+    )
+    claims.append(
+        Claim(
+            source="§4.3",
+            text="adding dedup to hashes brings little benefit",
+            measured=f"gap = {bars[Method.HASHES] - bars[Method.HASHES_DEDUP]:.3f}",
+            holds=(bars[Method.HASHES] - bars[Method.HASHES_DEDUP]) < 0.10,
+        )
+    )
+
+    sizes = (512,) if quick else fig6_best_case.PAPER_SIZES_MIB
+    rows = fig6_best_case.run(sizes_mib=sizes)
+    lan = fig6_best_case.reduction_percent(rows, sizes[0], "lan-1gbe")
+    wan = fig6_best_case.reduction_percent(rows, sizes[0], "wan-cloudnet")
+    claims.append(
+        Claim(
+            source="§4.4 / Fig 6",
+            text="idle VM migrates 3-4x faster on LAN, far more on WAN",
+            measured=f"time reduction LAN {lan:.0f}%, WAN {wan:.0f}%",
+            holds=lan > 55 and wan > 90,
+        )
+    )
+
+    sweep = fig7_updates.run(
+        memory_mib=512 if quick else 4096, updates_percent=(0, 50, 100)
+    )
+    vec = {
+        r.updates_percent: r.time_s
+        for r in sweep
+        if r.strategy == "vecycle" and r.link == "lan-1gbe"
+    }
+    qemu = [r.time_s for r in sweep if r.strategy == "qemu" and r.link == "lan-1gbe"]
+    claims.append(
+        Claim(
+            source="§4.5 / Fig 7",
+            text="VeCycle time grows with updates, meets flat baseline",
+            measured=(
+                f"{vec[0]:.1f}s -> {vec[50]:.1f}s -> {vec[100]:.1f}s "
+                f"(baseline {qemu[0]:.1f}s)"
+            ),
+            holds=vec[0] < vec[50] < vec[100] <= qemu[0] * 1.05,
+        )
+    )
+
+    vdi = fig8_vdi.run(num_epochs=None if not quick else 48 * 12)
+    fraction = vdi.fraction_of_baseline(Method.HASHES_DEDUP)
+    claims.append(
+        Claim(
+            source="§4.6 / Fig 8",
+            text="VDI migration traffic cut to ~25% of full copies",
+            measured=f"{fraction * 100:.0f}% of baseline over "
+                     f"{vdi.num_migrations} migrations",
+            holds=0.10 <= fraction <= 0.40,
+        )
+    )
+    return claims
+
+
+def format_table(claims: List[Claim]) -> str:
+    """Render the digest with one PASS/FAIL line per claim."""
+    lines = ["VeCycle reproduction digest", "=" * 68]
+    for claim in claims:
+        verdict = "PASS" if claim.holds else "FAIL"
+        lines.append(f"[{verdict}] {claim.source:<14s} {claim.text}")
+        lines.append(f"       measured: {claim.measured}")
+    passed = sum(claim.holds for claim in claims)
+    lines.append("=" * 68)
+    lines.append(f"{passed}/{len(claims)} headline claims hold at this scale; "
+                 "run `pytest benchmarks/ --benchmark-only` for full scale.")
+    return "\n".join(lines)

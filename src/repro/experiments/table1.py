@@ -1,0 +1,38 @@
+"""Table 1: the systems whose memory traces the study evaluates."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.traces.presets import ALL_MACHINES, MachineSpec
+
+
+def run(machines: Sequence[MachineSpec] = ALL_MACHINES) -> List[dict]:
+    """One row per traced system, mirroring Table 1's columns plus the
+    extra systems (crawlers, desktop) introduced later in the paper."""
+    return [
+        {
+            "name": spec.name,
+            "os": spec.os,
+            "trace_id": spec.trace_id,
+            "ram_gib": spec.ram_gib,
+            "trace_days": spec.trace_days,
+            "fingerprints_possible": spec.num_epochs,
+        }
+        for spec in machines
+    ]
+
+
+def format_table(rows: List[dict]) -> str:
+    """Render the catalog as the Table 1 layout."""
+    lines = [
+        f"{'Name':<12s} {'OS':<6s} {'Trace ID':<14s} {'RAM':>8s} {'Days':>5s} {'FPs':>5s}",
+        "-" * 56,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['name']:<12s} {row['os']:<6s} {row['trace_id']:<14s} "
+            f"{row['ram_gib']:6.0f} GiB {row['trace_days']:5.0f} "
+            f"{row['fingerprints_possible']:5d}"
+        )
+    return "\n".join(lines)

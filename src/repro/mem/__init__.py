@@ -1,0 +1,14 @@
+"""VM memory substrate: content-addressed images, mutations, page bytes."""
+
+from repro.mem.image import MemoryImage
+from repro.mem.mutation import boot_populate, churn, fill_ramdisk, update_region_fraction
+from repro.mem.pagestore import PageStore
+
+__all__ = [
+    "MemoryImage",
+    "boot_populate",
+    "churn",
+    "fill_ramdisk",
+    "update_region_fraction",
+    "PageStore",
+]

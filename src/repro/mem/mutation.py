@@ -1,0 +1,131 @@
+"""Composite memory mutations used by workloads and experiments.
+
+These are the building blocks the synthetic workload models
+(:mod:`repro.traces.workload`) and the controlled-update experiments
+(§4.5) compose.  Each function mutates a :class:`~repro.mem.image.MemoryImage`
+in place and is deterministic given the supplied :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mem.image import MemoryImage
+
+
+def fill_ramdisk(image: MemoryImage, fraction: float = 0.90) -> np.ndarray:
+    """Fill the first ``fraction`` of the image with fresh random content.
+
+    Models the §4.5 controlled environment: a ramdisk taking 90% of the
+    VM's memory, filled sequentially with random data, which the Linux
+    kernel lays out sequentially in guest-physical memory.  Returns the
+    slot indices that belong to the ramdisk region.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    count = int(image.num_pages * fraction)
+    region = np.arange(count)
+    image.write_fresh(region)
+    return region
+
+
+def update_region_fraction(
+    image: MemoryImage,
+    region: np.ndarray,
+    fraction: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Overwrite a random ``fraction`` of ``region`` with fresh content.
+
+    The §4.5 sweep updates 25/50/75/100% of the ramdisk between
+    migrations.  Returns the updated slots.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    region = np.asarray(region)
+    count = int(round(len(region) * fraction))
+    chosen = image.sample_slots(count, rng, within=region)
+    image.write_fresh(chosen)
+    return chosen
+
+
+def churn(
+    image: MemoryImage,
+    rng: np.random.Generator,
+    fresh_writes: int = 0,
+    duplicate_writes: int = 0,
+    zeroed: int = 0,
+    relocated: int = 0,
+    hot_slots: np.ndarray | None = None,
+) -> None:
+    """One epoch of mixed memory churn.
+
+    Args:
+        fresh_writes: Slots overwritten with never-seen content (new data).
+        duplicate_writes: Slots overwritten with a copy of some existing
+            page — keeps the intra-image duplicate fraction alive so
+            sender-side deduplication has something to exploit (§4.2).
+        zeroed: Slots returned to the zero page (freed memory).
+        relocated: Slots whose contents are permuted among themselves —
+            content unchanged, location changed; this is what makes
+            dirty tracking overestimate relative to content hashes (§4.3).
+        hot_slots: If given, fresh writes are drawn from this subset
+            (working-set locality); other mutations draw uniformly.
+    """
+    if fresh_writes:
+        image.write_fresh(image.sample_slots(fresh_writes, rng, within=hot_slots))
+    if duplicate_writes:
+        targets = image.sample_slots(duplicate_writes, rng)
+        source = int(image.sample_slots(1, rng)[0])
+        image.write_duplicate_of(targets, source)
+    if zeroed:
+        image.zero(image.sample_slots(zeroed, rng))
+    if relocated:
+        image.relocate(image.sample_slots(relocated, rng), rng)
+
+
+def boot_populate(
+    image: MemoryImage,
+    rng: np.random.Generator,
+    used_fraction: float,
+    duplicate_fraction: float,
+    zero_fraction: float,
+    shared_pool_size: int = 64,
+) -> None:
+    """Populate a freshly booted image to a steady-state composition.
+
+    After the call, approximately ``used_fraction`` of the slots hold
+    non-zero content; of the whole image, ``duplicate_fraction`` of slots
+    duplicate some other slot (drawn from a small shared-content pool,
+    modelling shared libraries / page-cache blocks) and ``zero_fraction``
+    remain zero pages.
+
+    Raises:
+        ValueError: if the requested fractions are inconsistent
+            (``duplicate_fraction + zero_fraction > used-fraction budget``).
+    """
+    if not 0.0 < used_fraction <= 1.0:
+        raise ValueError(f"used_fraction must be in (0, 1], got {used_fraction}")
+    if zero_fraction > 1.0 - used_fraction + 1e-9:
+        # Zero pages are exactly the unused slots; the caller asked for
+        # more zeros than unused space.
+        zero_fraction = 1.0 - used_fraction
+    n = image.num_pages
+    used = int(n * used_fraction)
+    dup = min(int(n * duplicate_fraction), used)
+    order = rng.permutation(n)
+    used_slots = order[:used]
+    # Unique fresh content for the non-duplicate part.
+    image.write_fresh(used_slots[dup:])
+    # Duplicate part: assign from a small pool of shared contents.
+    if dup:
+        pool_sources = used_slots[dup : dup + max(1, min(shared_pool_size, used - dup))]
+        if len(pool_sources) == 0:
+            pool_sources = used_slots[dup:][:1]
+        assignments = rng.integers(0, len(pool_sources), size=dup)
+        for pool_index in np.unique(assignments):
+            members = used_slots[:dup][assignments == pool_index]
+            image.write_duplicate_of(members, int(pool_sources[pool_index]))
+    # Everything outside used_slots is already zero (fresh image) or gets
+    # re-zeroed if the image was previously populated.
+    image.zero(order[used:])

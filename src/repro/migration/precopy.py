@@ -1,0 +1,315 @@
+"""Multi-round pre-copy live migration simulator.
+
+Implements the algorithm recapped in §3.1: a first round transfers the
+whole memory (optimized per strategy in VeCycle — only pages absent from
+the destination's checkpoint cross the wire), subsequent rounds transfer
+the pages dirtied during the previous round, and a final stop-and-copy
+round pauses the VM and moves the remainder.  VeCycle adapts *only the
+first round*; later rounds send dirty pages verbatim, because a page
+updated between rounds is unlikely to match content already present at
+the destination.
+
+Timing model — each phase is pipelined across three stages and the
+phase's duration is its bottleneck stage:
+
+* source CPU: checksumming outgoing pages (350 MiB/s MD5, §3.4);
+* wire: the link's effective bandwidth (TCP-window-capped on the WAN);
+* destination CPU + disk: verifying checksums of reusable pages against
+  the preloaded image and random-reading relocated pages from the
+  checkpoint file (Listing 1's merge).
+
+The destination's sequential checkpoint load and the source's checkpoint
+write are accounted separately and excluded from the migration time,
+exactly as the paper does (§4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.checkpoint import Checkpoint, ChecksumIndex
+from repro.core.checksum import PAGE_SIZE
+from repro.core.compression import CompressionModel, NO_COMPRESSION
+from repro.core.fingerprint import resize_fingerprint
+from repro.core.protocol import first_round_traffic
+from repro.core.strategies import MigrationStrategy
+from repro.core.transfer import Method, compute_transfer_set
+from repro.migration.report import MigrationReport, RoundStats
+from repro.migration.vm import SimVM
+from repro.net.link import Link
+from repro.storage.disk import Disk, HDD_HD204UI
+
+
+@dataclass(frozen=True)
+class PrecopyConfig:
+    """Tunables of the pre-copy loop.
+
+    Attributes:
+        max_rounds: Hard cap on copy rounds before forcing stop-and-copy
+            (QEMU behaves similarly to avoid livelock on write-heavy
+            guests).
+        downtime_target_s: Stop-and-copy is entered once the remaining
+            dirty pages can be transferred within this pause budget.
+        switchover_s: Fixed cost to quiesce the source and resume at the
+            destination, added to the downtime.
+        announce_known: True when the source already knows the
+            destination's checkpoint hashes (ping-pong bookkeeping,
+            §3.2) so the bulk announce is skipped.
+        allow_resized_checkpoint: Reuse a checkpoint taken at a
+            different memory size by padding/truncating its view —
+            content-based reuse survives VM resizes even though slot
+            bookkeeping does not.
+        checksum_cores: Cores dedicated to page checksumming on each
+            side.  §3.4 names multi-threaded execution as the way to
+            lift the checksum-rate bound on fast links.
+        compression: Optional migration-stream compression layered
+            under the strategy (related work [24]); applies to
+            full-page payloads in every round.
+    """
+
+    max_rounds: int = 30
+    downtime_target_s: float = 0.3
+    switchover_s: float = 0.02
+    announce_known: bool = False
+    allow_resized_checkpoint: bool = False
+    checksum_cores: int = 1
+    compression: CompressionModel = NO_COMPRESSION
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        if self.checksum_cores < 1:
+            raise ValueError(
+                f"checksum_cores must be >= 1, got {self.checksum_cores}"
+            )
+
+
+def simulate_migration(
+    vm: SimVM,
+    strategy: MigrationStrategy,
+    link: Link,
+    checkpoint: Optional[Checkpoint] = None,
+    dest_disk: Disk = HDD_HD204UI,
+    source_disk: Disk = HDD_HD204UI,
+    config: PrecopyConfig = PrecopyConfig(),
+) -> MigrationReport:
+    """Simulate one live migration of ``vm`` and return its report.
+
+    Args:
+        vm: The guest; it keeps dirtying pages while rounds run.
+        strategy: Which transfer method the first round uses.
+        link: Network path between source and destination.
+        checkpoint: The old checkpoint available at the destination, or
+            None (first visit — checkpoint-based strategies degrade to
+            a full first round).
+        dest_disk: Where the destination keeps the old checkpoint.
+        source_disk: Where the source writes the new checkpoint.
+        config: Pre-copy loop tunables.
+
+    The VM's memory image is left in its post-migration state (including
+    pages dirtied mid-flight), so callers can chain migrations.
+    """
+    report = MigrationReport(
+        strategy=strategy.name,
+        vm_id=vm.vm_id,
+        memory_bytes=vm.memory_bytes,
+        link=link.name,
+    )
+    wire = strategy.wire
+    checksum = strategy.checksum
+    current = vm.fingerprint()
+
+    usable_checkpoint = checkpoint
+    if usable_checkpoint is not None and (
+        usable_checkpoint.fingerprint.num_pages != vm.num_pages
+    ):
+        if not config.allow_resized_checkpoint:
+            raise ValueError(
+                "checkpoint page count "
+                f"{usable_checkpoint.fingerprint.num_pages} != VM {vm.num_pages}"
+                " (set allow_resized_checkpoint to reuse it anyway)"
+            )
+        # The VM was resized since the checkpoint: adapt the checkpoint
+        # view (content reuse survives; in-place slot matches beyond the
+        # old size do not exist).  Generation vectors are slot-addressed
+        # and meaningless across a resize, so dirty tracking falls back
+        # to the content proxy.
+        usable_checkpoint = Checkpoint(
+            vm_id=usable_checkpoint.vm_id,
+            fingerprint=resize_fingerprint(
+                usable_checkpoint.fingerprint, vm.num_pages
+            ),
+            generation_vector=None,
+        )
+    method = strategy.method
+    if method.uses_checkpoint and usable_checkpoint is None:
+        # First visit to this host: no checkpoint to recycle.  VeCycle
+        # degrades to (at best) dedup semantics; we model the plain
+        # full/dedup fallback.
+        method = Method.DEDUP if method.uses_dedup else Method.FULL
+
+    # --- Destination setup phase (excluded from migration time, §4.4) ---
+    index: Optional[ChecksumIndex] = None
+    if method.uses_checkpoint and usable_checkpoint is not None:
+        ckpt_bytes = usable_checkpoint.size_bytes
+        load_time = dest_disk.sequential_read_time(ckpt_bytes)
+        # While streaming the file the destination hashes each 4 KiB
+        # block to build the sorted checksum index (§3.3); disk and CPU
+        # overlap, the slower one dominates.
+        hash_time = checksum.seconds_for(ckpt_bytes) / config.checksum_cores
+        report.setup_time_s = max(load_time, hash_time)
+        index = usable_checkpoint.index
+        report.similarity = current.similarity_to(usable_checkpoint.fingerprint)
+
+    # --- Bulk checksum announce (destination -> source), §3.2 ---
+    announce_pages = 0
+    announce_time = 0.0
+    if method.uses_hashes and usable_checkpoint is not None and not config.announce_known:
+        announce_pages = len(usable_checkpoint.index)
+        announce_time = link.transfer_time(announce_pages * checksum.digest_size)
+
+    # --- First copy round ---
+    dirty_slots = None
+    if method.uses_dirty_tracking and usable_checkpoint is not None:
+        if usable_checkpoint.generation_vector is not None:
+            dirty_slots = vm.tracker.dirty_since(usable_checkpoint.generation_vector)
+        else:
+            dirty_slots = current.dirty_slots(since=usable_checkpoint.fingerprint)
+
+    transfer_set = compute_transfer_set(
+        method,
+        current,
+        checkpoint=usable_checkpoint.fingerprint
+        if (method.uses_checkpoint and usable_checkpoint is not None)
+        else None,
+        dirty_slots=dirty_slots,
+        checkpoint_index=index if method.uses_hashes else None,
+    )
+    traffic = first_round_traffic(transfer_set, wire, announce_unique_pages=announce_pages)
+
+    # Split the reusable pages into in-place (checksum verifies against
+    # the preloaded image) vs relocated (random checkpoint read,
+    # Listing 1's lseek path).
+    reused_in_place = transfer_set.checksum_only_pages
+    reused_from_disk = 0
+    if method.uses_hashes and usable_checkpoint is not None:
+        in_place_mask = current.hashes == usable_checkpoint.fingerprint.hashes
+        in_checkpoint = usable_checkpoint.index.contains_many(current.hashes)
+        reusable_mask = in_checkpoint & (
+            np.ones(vm.num_pages, dtype=bool)
+            if not method.uses_dirty_tracking
+            else _mask_from_slots(dirty_slots, vm.num_pages)
+        )
+        reused_from_disk = int(np.count_nonzero(reusable_mask & ~in_place_mask))
+        reused_in_place = transfer_set.checksum_only_pages - reused_from_disk
+
+    cores = config.checksum_cores
+    compression = config.compression
+    # Compression applies to the page payload only; headers, checksums
+    # and references are already minimal.
+    raw_page_bytes = transfer_set.full_pages * PAGE_SIZE
+    compressed_page_bytes = compression.compressed_bytes(raw_page_bytes)
+    payload_bytes = traffic.payload_bytes - raw_page_bytes + compressed_page_bytes
+
+    src_cpu = checksum.seconds_for(
+        transfer_set.checksummed_pages * PAGE_SIZE
+    ) / cores + compression.compress_time(raw_page_bytes, cores)
+    wire_time = link.transfer_time(payload_bytes)
+    dst_cpu = checksum.seconds_for(
+        transfer_set.checksum_only_pages * PAGE_SIZE
+    ) / cores + compression.decompress_time(raw_page_bytes, cores)
+    dst_disk_time = dest_disk.random_read_time(reused_from_disk)
+    round_time = max(src_cpu, wire_time, dst_cpu + dst_disk_time)
+
+    dirtied = vm.run_for(round_time)
+    report.rounds.append(
+        RoundStats(
+            round_no=1,
+            pages_sent=transfer_set.full_pages,
+            small_messages=transfer_set.ref_pages + transfer_set.checksum_only_pages,
+            bytes_sent=payload_bytes,
+            duration_s=round_time,
+            dirty_after=len(dirtied),
+        )
+    )
+    report.tx_bytes += payload_bytes
+    report.announce_bytes = traffic.announce_bytes
+    report.pages_full = transfer_set.full_pages
+    report.pages_ref = transfer_set.ref_pages
+    report.pages_checksum_only = transfer_set.checksum_only_pages
+    report.pages_skipped = transfer_set.skipped_pages
+    report.pages_reused_in_place = reused_in_place
+    report.pages_reused_from_disk = reused_from_disk
+    total_time = announce_time + round_time
+
+    # --- Iterative dirty rounds (plain pages, §3.1) ---
+    def dirty_round_bytes(num_pages: int) -> int:
+        headers = num_pages * (wire.plain_page_message - PAGE_SIZE)
+        return headers + compression.compressed_bytes(num_pages * PAGE_SIZE)
+
+    def dirty_round_time(num_pages: int) -> float:
+        raw = num_pages * PAGE_SIZE
+        return max(
+            link.transfer_time(dirty_round_bytes(num_pages)),
+            compression.compress_time(raw, cores),
+            compression.decompress_time(raw, cores),
+        )
+
+    dirty = np.unique(dirtied)
+    round_no = 1
+    while len(dirty) > 0 and round_no < config.max_rounds:
+        remaining_bytes = dirty_round_bytes(len(dirty))
+        projected = dirty_round_time(len(dirty))
+        if projected <= config.downtime_target_s:
+            break
+        round_no += 1
+        round_bytes = remaining_bytes
+        duration = projected
+        newly_dirty = np.unique(vm.run_for(duration))
+        report.rounds.append(
+            RoundStats(
+                round_no=round_no,
+                pages_sent=len(dirty),
+                small_messages=0,
+                bytes_sent=round_bytes,
+                duration_s=duration,
+                dirty_after=len(newly_dirty),
+            )
+        )
+        report.tx_bytes += round_bytes
+        total_time += duration
+        dirty = newly_dirty
+
+    # --- Stop-and-copy ---
+    final_bytes = dirty_round_bytes(len(dirty))
+    downtime = config.switchover_s + (
+        dirty_round_time(len(dirty)) if len(dirty) else 0.0
+    )
+    if len(dirty):
+        report.rounds.append(
+            RoundStats(
+                round_no=round_no + 1,
+                pages_sent=len(dirty),
+                small_messages=0,
+                bytes_sent=final_bytes,
+                duration_s=downtime,
+                dirty_after=0,
+            )
+        )
+        report.tx_bytes += final_bytes
+    report.downtime_s = downtime
+    report.total_time_s = total_time + downtime
+
+    # --- Source writes the new checkpoint (excluded from time, §4.4) ---
+    report.checkpoint_write_time_s = source_disk.sequential_write_time(vm.memory_bytes)
+    return report
+
+
+def _mask_from_slots(slots: Optional[np.ndarray], num_pages: int) -> np.ndarray:
+    mask = np.zeros(num_pages, dtype=bool)
+    if slots is not None and len(slots):
+        mask[np.asarray(slots, dtype=np.int64)] = True
+    return mask

@@ -1,0 +1,86 @@
+"""Migration outcome records.
+
+The evaluation reports two headline quantities per migration (§4.4):
+*migration time* — from initiating the migration at the source until the
+VM runs at the destination, explicitly excluding the destination's
+checkpoint-load setup phase and the source's checkpoint write — and
+*source send traffic*.  :class:`MigrationReport` captures both plus
+enough per-round detail to debug and to feed the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """One pre-copy round.
+
+    Attributes:
+        round_no: 1-based round number (round 1 is the optimized one).
+        pages_sent: Full pages whose bytes crossed the wire.
+        small_messages: Checksum-only and dedup-reference messages.
+        bytes_sent: Source → destination bytes this round.
+        duration_s: Wall-clock duration of the round.
+        dirty_after: Distinct slots dirtied while this round ran.
+    """
+
+    round_no: int
+    pages_sent: int
+    small_messages: int
+    bytes_sent: int
+    duration_s: float
+    dirty_after: int
+
+
+@dataclass
+class MigrationReport:
+    """Everything measured about one simulated migration."""
+
+    strategy: str
+    vm_id: str
+    memory_bytes: int
+    link: str
+    # Headline numbers (paper definition: copy phase + downtime).
+    total_time_s: float = 0.0
+    downtime_s: float = 0.0
+    # Source → destination migration stream, all rounds + stop-and-copy.
+    tx_bytes: int = 0
+    # Destination → source checksum announce (0 with ping-pong shortcut).
+    announce_bytes: int = 0
+    # Excluded from total_time_s, reported separately (§4.4).
+    setup_time_s: float = 0.0
+    checkpoint_write_time_s: float = 0.0
+    # First-round composition.
+    pages_full: int = 0
+    pages_ref: int = 0
+    pages_checksum_only: int = 0
+    pages_skipped: int = 0
+    pages_reused_in_place: int = 0
+    pages_reused_from_disk: int = 0
+    similarity: float = 0.0
+    rounds: List[RoundStats] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        """All migration-related bytes in both directions."""
+        return self.tx_bytes + self.announce_bytes
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def tx_gib(self) -> float:
+        return self.tx_bytes / 2**30
+
+    def summary(self) -> str:
+        """One-line human-readable summary for CLI output."""
+        return (
+            f"{self.strategy:>16s}  {self.memory_bytes / 2**20:6.0f} MiB  "
+            f"{self.link:<12s}  time={self.total_time_s:8.2f}s  "
+            f"down={self.downtime_s * 1000:6.1f}ms  "
+            f"tx={self.tx_bytes / 2**20:9.1f} MiB  rounds={self.num_rounds}"
+        )

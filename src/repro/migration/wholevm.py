@@ -1,0 +1,185 @@
+"""Whole-VM migration: memory and persistent storage together.
+
+The paper's testbed side-steps disk state with NFS shared storage
+(§4.1) and points at XvMotion [16] and CloudNet [29] for the
+non-shared case (§3.1).  This module composes the two substrates this
+repository builds — the live memory migration and the disk-image
+synchronization — into the full move those systems perform:
+
+1. **Bulk disk sync** while the VM keeps running at the source: the
+   (possibly stale) replica at the destination absorbs most blocks;
+   writes during the sync are tracked.
+2. **Live memory migration** (pre-copy, checkpoint-assisted when a
+   checkpoint exists).
+3. **Final disk delta** inside the downtime window: the blocks dirtied
+   since the bulk sync, which must be small for the move to be
+   seamless.
+
+Checkpoint recycling and replica reuse are the same idea at two
+granularities; :func:`migrate_whole_vm` lets experiments quantify them
+jointly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.checkpoint import Checkpoint
+from repro.core.strategies import MigrationStrategy
+from repro.migration.precopy import PrecopyConfig, simulate_migration
+from repro.migration.report import MigrationReport
+from repro.migration.vm import SimVM
+from repro.net.link import Link
+from repro.storage.blocksync import DiskImage, DiskSyncPlan, disk_sync_seconds, plan_disk_sync
+from repro.storage.disk import Disk, HDD_HD204UI
+
+
+@dataclass
+class WholeVmReport:
+    """Outcome of a combined memory + storage migration."""
+
+    memory: MigrationReport
+    bulk_sync: DiskSyncPlan
+    bulk_sync_s: float
+    final_delta: DiskSyncPlan
+    final_delta_s: float
+
+    @property
+    def total_time_s(self) -> float:
+        """Bulk sync, then the live memory migration, then the delta."""
+        return self.bulk_sync_s + self.memory.total_time_s + self.final_delta_s
+
+    @property
+    def downtime_s(self) -> float:
+        """Memory stop-and-copy plus the final disk delta."""
+        return self.memory.downtime_s + self.final_delta_s
+
+    @property
+    def tx_bytes(self) -> int:
+        return (
+            self.memory.tx_bytes
+            + self.bulk_sync.transfer_bytes
+            + self.final_delta.transfer_bytes
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable summary for CLI output."""
+        return (
+            f"whole-vm[{self.memory.strategy}] time={self.total_time_s:8.1f}s "
+            f"down={self.downtime_s * 1000:7.1f}ms "
+            f"tx={self.tx_bytes / 2**20:9.1f} MiB "
+            f"(disk {self.bulk_sync.transfer_bytes / 2**20:7.1f} + "
+            f"delta {self.final_delta.transfer_bytes / 2**20:5.1f}, "
+            f"mem {self.memory.tx_bytes / 2**20:7.1f})"
+        )
+
+
+def migrate_whole_vm(
+    vm: SimVM,
+    disk_image: DiskImage,
+    strategy: MigrationStrategy,
+    link: Link,
+    checkpoint: Optional[Checkpoint] = None,
+    destination_replica: Optional[np.ndarray] = None,
+    disk_write_blocks_per_s: float = 0.0,
+    source_disk: Disk = HDD_HD204UI,
+    destination_disk: Disk = HDD_HD204UI,
+    config: PrecopyConfig = PrecopyConfig(),
+    rng: Optional[np.random.Generator] = None,
+) -> WholeVmReport:
+    """Migrate RAM and disk of one VM to a non-shared-storage host.
+
+    Args:
+        vm: The guest (its memory keeps dirtying during every phase).
+        disk_image: The guest's virtual disk at the source.
+        strategy: Memory transfer strategy; the disk path reuses the
+            destination replica whenever one is supplied, mirroring the
+            strategy's checkpoint philosophy at block granularity.
+        checkpoint: Old *memory* checkpoint at the destination.
+        destination_replica: Old *disk* replica at the destination
+            (block content ids), or None for a cold copy.
+        disk_write_blocks_per_s: Guest block-write rate while the
+            migration runs; feeds the final delta.
+        rng: Randomness for placing in-flight disk writes.
+
+    Returns the combined report; the VM and disk are left in their
+    post-migration state.
+    """
+    if disk_write_blocks_per_s < 0:
+        raise ValueError(
+            f"disk_write_blocks_per_s must be >= 0, got {disk_write_blocks_per_s}"
+        )
+    rng = rng or np.random.default_rng(0)
+
+    # Phase 1: bulk disk sync against the replica.
+    disk_image.clear_dirty()
+    bulk_plan = plan_disk_sync(
+        disk_image.blocks, destination_replica=destination_replica
+    )
+    bulk_seconds = disk_sync_seconds(bulk_plan, link, source_disk, destination_disk)
+
+    # The guest writes blocks while the bulk sync runs.
+    _apply_disk_writes(disk_image, disk_write_blocks_per_s * bulk_seconds, rng)
+
+    # Phase 2: live memory migration (guest also keeps writing blocks).
+    memory_report = simulate_migration(
+        vm,
+        strategy,
+        link,
+        checkpoint=checkpoint,
+        dest_disk=destination_disk,
+        source_disk=source_disk,
+        config=config,
+    )
+    _apply_disk_writes(
+        disk_image, disk_write_blocks_per_s * memory_report.total_time_s, rng
+    )
+
+    # Phase 3: final delta — blocks dirtied since the bulk sync, moved
+    # inside the downtime window.
+    dirty = disk_image.dirty_blocks()
+    if destination_replica is not None:
+        # The old replica may also hold the delta blocks' *content*
+        # (e.g. a file rewritten with bytes it held before).
+        delta_plan = plan_disk_sync(
+            disk_image.blocks,
+            destination_replica=destination_replica,
+            dirty_blocks=dirty,
+            block_size=disk_image.block_size,
+        )
+    else:
+        # Cold copy: the bulk sync shipped a snapshot; exactly the
+        # dirty blocks remain, all in full.
+        delta_plan = DiskSyncPlan(
+            blocks_full=len(dirty),
+            blocks_reused=0,
+            blocks_skipped=disk_image.num_blocks - len(dirty),
+            num_blocks=disk_image.num_blocks,
+            block_size=disk_image.block_size,
+        )
+    delta_seconds = disk_sync_seconds(
+        delta_plan, link, source_disk, destination_disk
+    )
+    disk_image.clear_dirty()
+
+    return WholeVmReport(
+        memory=memory_report,
+        bulk_sync=bulk_plan,
+        bulk_sync_s=bulk_seconds,
+        final_delta=delta_plan,
+        final_delta_s=delta_seconds,
+    )
+
+
+def _apply_disk_writes(
+    disk_image: DiskImage, num_writes: float, rng: np.random.Generator
+) -> None:
+    """Apply ``num_writes`` block writes with working-set locality."""
+    distinct = min(disk_image.num_blocks, int(num_writes))
+    if distinct <= 0:
+        return
+    blocks = rng.choice(disk_image.num_blocks, size=distinct, replace=False)
+    disk_image.write(blocks)

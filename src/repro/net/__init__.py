@@ -1,0 +1,5 @@
+"""Network substrate: link cost models and presets."""
+
+from repro.net.link import LAN_1GBE, LAN_10GBE, LAN_40GBE, WAN_CLOUDNET, Link, get_link
+
+__all__ = ["LAN_1GBE", "LAN_10GBE", "LAN_40GBE", "WAN_CLOUDNET", "Link", "get_link"]

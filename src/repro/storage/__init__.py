@@ -1,0 +1,23 @@
+"""Storage substrate: disk cost models and disk-image synchronization."""
+
+from repro.storage.blocksync import (
+    BLOCK_SIZE,
+    DiskImage,
+    DiskSyncPlan,
+    disk_sync_seconds,
+    plan_disk_sync,
+)
+from repro.storage.disk import HDD_HD204UI, SSD_INTEL330, TMPFS, Disk, get_disk
+
+__all__ = [
+    "BLOCK_SIZE",
+    "DiskImage",
+    "DiskSyncPlan",
+    "disk_sync_seconds",
+    "plan_disk_sync",
+    "HDD_HD204UI",
+    "SSD_INTEL330",
+    "TMPFS",
+    "Disk",
+    "get_disk",
+]

@@ -1,0 +1,41 @@
+"""Synthetic memory-trace substrate (Memory Buddies substitute)."""
+
+from repro.traces.generate import Trace, generate_or_load, generate_trace
+from repro.traces.io import TraceFormatError, export_text, import_text
+from repro.traces.presets import (
+    ALL_MACHINES,
+    CRAWLERS,
+    DESKTOP,
+    LAPTOPS,
+    SERVERS,
+    TABLE1_MACHINES,
+    MachineSpec,
+    get_machine,
+)
+from repro.traces.workload import (
+    EPOCH_SECONDS,
+    ActivityPattern,
+    MachineWorkload,
+    WorkloadParams,
+)
+
+__all__ = [
+    "Trace",
+    "TraceFormatError",
+    "export_text",
+    "import_text",
+    "generate_or_load",
+    "generate_trace",
+    "ALL_MACHINES",
+    "CRAWLERS",
+    "DESKTOP",
+    "LAPTOPS",
+    "SERVERS",
+    "TABLE1_MACHINES",
+    "MachineSpec",
+    "get_machine",
+    "EPOCH_SECONDS",
+    "ActivityPattern",
+    "MachineWorkload",
+    "WorkloadParams",
+]

@@ -1,0 +1,138 @@
+"""Trace generation: turn a machine preset into a fingerprint stream.
+
+A :class:`Trace` is what the paper's analyses consume — an ordered list
+of :class:`~repro.core.fingerprint.Fingerprint` objects, one per
+30-minute epoch the machine was up, each stamped with its trace time.
+Traces can be persisted to ``.npz`` files and reloaded, so expensive
+generations are cached by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.fingerprint import Fingerprint
+from repro.traces.presets import MachineSpec
+from repro.traces.workload import EPOCH_SECONDS, MachineWorkload
+
+
+@dataclass
+class Trace:
+    """A generated fingerprint stream for one machine.
+
+    Attributes:
+        machine: Display name of the machine (e.g. "Server B").
+        ram_bytes: Nominal RAM size the trace stands in for.
+        fingerprints: Fingerprints in time order; gaps (suspended
+            laptop epochs) simply have no entry, but timestamps keep
+            absolute trace time, exactly like the original traces.
+    """
+
+    machine: str
+    ram_bytes: int
+    fingerprints: List[Fingerprint] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    @property
+    def num_pages(self) -> int:
+        return self.fingerprints[0].num_pages if self.fingerprints else 0
+
+    @property
+    def duration_hours(self) -> float:
+        if len(self.fingerprints) < 2:
+            return 0.0
+        return (self.fingerprints[-1].timestamp - self.fingerprints[0].timestamp) / 3600
+
+    def save(self, path: Path | str) -> None:
+        """Persist to a compressed ``.npz`` file."""
+        path = Path(path)
+        arrays = {
+            f"fp{i:05d}": fp.hashes for i, fp in enumerate(self.fingerprints)
+        }
+        timestamps = np.asarray([fp.timestamp for fp in self.fingerprints])
+        np.savez_compressed(
+            path,
+            machine=np.asarray(self.machine),
+            ram_bytes=np.asarray(self.ram_bytes),
+            timestamps=timestamps,
+            **arrays,
+        )
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Trace":
+        """Load a trace previously written by :meth:`save`."""
+        with np.load(Path(path)) as data:
+            timestamps = data["timestamps"]
+            keys = sorted(k for k in data.files if k.startswith("fp"))
+            fingerprints = [
+                Fingerprint(hashes=data[key], timestamp=float(ts))
+                for key, ts in zip(keys, timestamps)
+            ]
+            return cls(
+                machine=str(data["machine"]),
+                ram_bytes=int(data["ram_bytes"]),
+                fingerprints=fingerprints,
+            )
+
+
+def generate_trace(
+    spec: MachineSpec,
+    num_epochs: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Trace:
+    """Generate the synthetic trace for ``spec``.
+
+    Args:
+        spec: Machine preset (workload parameters + metadata).
+        num_epochs: Trace length override; defaults to the preset's full
+            duration (7 days → 336 fingerprints at 30-minute cadence).
+        seed: RNG seed override; defaults to the preset's fixed seed so
+            every run of the benchmark suite sees the same trace.
+
+    The machine "warms up" for one full day (48 epochs) before the first
+    fingerprint, so the trace starts from steady state rather than from
+    the synthetic boot image, and trace time stays aligned with the
+    activity model's wall clock (timestamp 0 = midnight).
+    """
+    if num_epochs is None:
+        num_epochs = spec.num_epochs
+    if num_epochs <= 0:
+        raise ValueError(f"num_epochs must be > 0, got {num_epochs}")
+    workload = MachineWorkload(spec.params, seed=spec.seed if seed is None else seed)
+    for _ in range(48):
+        workload.advance_epoch()
+    start_epoch = workload.epoch
+    trace = Trace(machine=spec.name, ram_bytes=spec.ram_bytes)
+    for epoch in range(num_epochs):
+        workload.advance_epoch()
+        if workload.present(epoch):
+            fingerprint = Fingerprint(
+                hashes=workload.image.slots.copy(),
+                timestamp=(workload.epoch - start_epoch) * EPOCH_SECONDS,
+            )
+            trace.fingerprints.append(fingerprint)
+    return trace
+
+
+def generate_or_load(
+    spec: MachineSpec,
+    cache_dir: Path | str,
+    num_epochs: Optional[int] = None,
+) -> Trace:
+    """Load ``spec``'s trace from ``cache_dir`` or generate and cache it."""
+    cache_dir = Path(cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    epochs = num_epochs if num_epochs is not None else spec.num_epochs
+    slug = spec.name.lower().replace(" ", "-")
+    path = cache_dir / f"{slug}-{epochs}ep-seed{spec.seed}.npz"
+    if path.exists():
+        return Trace.load(path)
+    trace = generate_trace(spec, num_epochs=num_epochs)
+    trace.save(path)
+    return trace

@@ -1,0 +1,131 @@
+"""Plain-text trace interchange format (Memory Buddies compatible-ish).
+
+The original Memory Buddies traces are hash lists: one fingerprint per
+file, one page hash per line.  This module defines a simple, documented
+textual format so real traces (or traces from other tools) can be
+dropped into the analysis pipeline without touching code:
+
+::
+
+    # vecycle-trace v1
+    # machine: Server X
+    # ram_bytes: 4294967296
+    fingerprint 1800.0
+    00000000000003e8
+    00000000000007d0
+    ...
+    fingerprint 3600.0
+    ...
+
+* Header lines start with ``#``; ``machine`` and ``ram_bytes`` are
+  required.
+* Each ``fingerprint <timestamp-seconds>`` line opens a fingerprint;
+  the following lines are one 16-hex-digit page hash per line, page 0
+  first.  All fingerprints must have the same page count.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+import numpy as np
+
+from repro.core.fingerprint import Fingerprint
+from repro.traces.generate import Trace
+
+FORMAT_MAGIC = "# vecycle-trace v1"
+
+
+class TraceFormatError(ValueError):
+    """The file is not a valid v1 trace."""
+
+
+def export_text(trace: Trace, path: Path | str) -> None:
+    """Write ``trace`` in the v1 text format."""
+    path = Path(path)
+    lines: List[str] = [
+        FORMAT_MAGIC,
+        f"# machine: {trace.machine}",
+        f"# ram_bytes: {trace.ram_bytes}",
+    ]
+    for fingerprint in trace.fingerprints:
+        lines.append(f"fingerprint {fingerprint.timestamp}")
+        lines.extend(f"{int(h):016x}" for h in fingerprint.hashes)
+    path.write_text("\n".join(lines) + "\n")
+
+
+def import_text(path: Path | str) -> Trace:
+    """Parse a v1 text trace.
+
+    Raises:
+        TraceFormatError: on a missing magic line, missing header
+            fields, malformed hashes, or inconsistent page counts.
+    """
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    if not lines or lines[0].strip() != FORMAT_MAGIC:
+        raise TraceFormatError(f"{path}: missing magic line {FORMAT_MAGIC!r}")
+
+    machine = None
+    ram_bytes = None
+    index = 1
+    while index < len(lines) and lines[index].startswith("#"):
+        header = lines[index][1:].strip()
+        if header.startswith("machine:"):
+            machine = header.split(":", 1)[1].strip()
+        elif header.startswith("ram_bytes:"):
+            try:
+                ram_bytes = int(header.split(":", 1)[1].strip())
+            except ValueError as exc:
+                raise TraceFormatError(f"{path}: bad ram_bytes header") from exc
+        index += 1
+    if machine is None or ram_bytes is None:
+        raise TraceFormatError(f"{path}: machine and ram_bytes headers required")
+
+    trace = Trace(machine=machine, ram_bytes=ram_bytes)
+    current_hashes: List[int] = []
+    current_timestamp: float | None = None
+
+    def flush() -> None:
+        if current_timestamp is None:
+            return
+        if not current_hashes:
+            raise TraceFormatError(f"{path}: empty fingerprint at {current_timestamp}")
+        fingerprint = Fingerprint(
+            hashes=np.asarray(current_hashes, dtype=np.uint64),
+            timestamp=current_timestamp,
+        )
+        if trace.fingerprints and fingerprint.num_pages != trace.num_pages:
+            raise TraceFormatError(
+                f"{path}: fingerprint at {current_timestamp} has "
+                f"{fingerprint.num_pages} pages, expected {trace.num_pages}"
+            )
+        trace.fingerprints.append(fingerprint)
+
+    for line in lines[index:]:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("fingerprint"):
+            flush()
+            parts = line.split()
+            if len(parts) != 2:
+                raise TraceFormatError(f"{path}: malformed line {line!r}")
+            try:
+                current_timestamp = float(parts[1])
+            except ValueError as exc:
+                raise TraceFormatError(f"{path}: bad timestamp in {line!r}") from exc
+            current_hashes = []
+        else:
+            if current_timestamp is None:
+                raise TraceFormatError(f"{path}: hash before any fingerprint line")
+            try:
+                current_hashes.append(int(line, 16))
+            except ValueError as exc:
+                raise TraceFormatError(f"{path}: bad hash line {line!r}") from exc
+    flush()
+
+    if not trace.fingerprints:
+        raise TraceFormatError(f"{path}: no fingerprints")
+    return trace

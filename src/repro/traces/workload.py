@@ -1,0 +1,337 @@
+"""Epoch-based workload models that evolve a machine's memory over days.
+
+The Memory Buddies traces (and the authors' own crawler/desktop traces)
+are not redistributable, so we generate synthetic fingerprint streams
+with the same structure: one fingerprint every 30 minutes, spanning days,
+produced by a machine whose memory churns according to its workload.
+
+The generative model per 30-minute epoch:
+
+* An **activity level** ``a(t) ∈ [0, 1]`` from the machine's activity
+  pattern (diurnal servers, office-hours desktops, always-on crawlers,
+  sometimes-suspended laptops).
+* A fraction ``base_update_fraction * a(t)`` of the *mutable* pages is
+  overwritten with fresh content.  Writes favour a small **hot set**
+  (working-set locality), so busy epochs mostly re-dirty the same pages.
+* A **stable set** (kernel text, shared libraries, cold anonymous pages)
+  never changes — this produces the long-term similarity plateau the
+  paper observes (Server C still ~20% similar after a week, Figure 2).
+* A slice of the writes duplicates existing content from a small shared
+  pool, keeping the intra-image duplicate-page fraction near the
+  machine's target (Figure 4).
+* A few pages are zeroed (freed) and a few **relocate** — content moves
+  to a different frame without changing, which is precisely what makes
+  dirty-page tracking overestimate relative to content hashes (§4.3).
+
+All stochastic choices flow from one :class:`numpy.random.Generator`, so
+a (preset, seed) pair reproduces a trace bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mem.image import MemoryImage
+from repro.mem.mutation import boot_populate
+
+EPOCH_SECONDS = 1800
+"""Fingerprint cadence: one every 30 minutes, like the paper's traces."""
+
+
+class ActivityPattern(enum.Enum):
+    """When a machine is busy.
+
+    * ``DIURNAL`` — servers: sinusoidal day/night cycle plus noise.
+    * ``OFFICE_HOURS`` — desktops: busy 9am–5pm on weekdays, nearly
+      idle otherwise (the §4.6 VDI scenario).
+    * ``CONSTANT`` — web crawlers: always busy (§2.3: "An active VM
+      with no idle intervals will only gain a small benefit").
+    * ``INTERMITTENT`` — laptops: active sessions separated by
+      suspends; fingerprints are missing while suspended.
+    """
+
+    DIURNAL = "diurnal"
+    OFFICE_HOURS = "office-hours"
+    CONSTANT = "constant"
+    INTERMITTENT = "intermittent"
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Knobs of the synthetic workload generator.
+
+    Attributes:
+        num_pages: Simulated page count.  Traces are simulated at a
+            reduced scale (the similarity/duplicate statistics are
+            scale-free in this model); the nominal RAM size lives in the
+            machine preset.
+        used_fraction: Fraction of pages holding non-zero content in
+            steady state.
+        stable_fraction: Fraction of pages that never change (similarity
+            floor at long deltas).
+        hot_fraction: Fraction of mutable pages receiving ~80% of writes.
+        base_update_fraction: Fraction of mutable pages rewritten per
+            epoch at full activity.
+        duplicate_fraction: Target intra-image duplicate-page fraction.
+        zero_fraction: Target zero-page fraction (small, per Figure 4).
+        relocate_fraction: Fraction of pages relocated per epoch at full
+            activity (drives the dirty-tracking overestimate).
+        hot_write_share: Share of each epoch's writes that land in the
+            hot set.  Hot pages are rewritten over and over, so a high
+            share slows *content* turnover; cold writes are what erode
+            similarity over long deltas.
+        recall_fraction: Share of writes that *restore previously seen
+            content* instead of creating new bytes — the page cache
+            re-reading the same file blocks, a restarted process
+            re-mapping the same libraries.  A recalled page looks dirty
+            to generation counters but its content still exists in an
+            old checkpoint, so content-based redundancy elimination
+            skips it while dirty tracking re-sends it.  This is the
+            mechanism behind Figure 5's hashes-vs-dirty gap.
+        burst_probability: Per-epoch chance of an activity burst (backup
+            job, crawl-queue flush) that rewrites several times the
+            usual volume — bursts produce the deep worst-case dips the
+            paper's minimum curves show.
+        burst_multiplier: Write-volume multiplier during a burst.
+        day_sigma: Log-normal sigma of a per-day activity multiplier.
+            Days differ: a busy day erodes similarity for every pair
+            spanning it, a quiet one preserves it — this is what spreads
+            the paper's minimum and maximum curves apart at long deltas.
+        weekend_factor: Activity scale on Saturdays/Sundays (servers see
+            far less load; the VDI desktop sees none at all).
+        activity: The machine's activity pattern.
+        activity_floor: Minimum activity level during quiet periods.
+        presence_probability: For INTERMITTENT machines, chance an epoch
+            produces a fingerprint at all (laptops delivered only
+            151–205 of 336 possible fingerprints).
+    """
+
+    num_pages: int = 16384
+    used_fraction: float = 0.95
+    stable_fraction: float = 0.30
+    hot_fraction: float = 0.10
+    base_update_fraction: float = 0.04
+    duplicate_fraction: float = 0.10
+    zero_fraction: float = 0.03
+    relocate_fraction: float = 0.01
+    hot_write_share: float = 0.5
+    recall_fraction: float = 0.25
+    burst_probability: float = 0.02
+    burst_multiplier: float = 4.0
+    day_sigma: float = 0.5
+    weekend_factor: float = 0.3
+    activity: ActivityPattern = ActivityPattern.DIURNAL
+    activity_floor: float = 0.15
+    presence_probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_pages <= 0:
+            raise ValueError(f"num_pages must be > 0, got {self.num_pages}")
+        for name in (
+            "used_fraction",
+            "stable_fraction",
+            "hot_fraction",
+            "base_update_fraction",
+            "duplicate_fraction",
+            "zero_fraction",
+            "relocate_fraction",
+            "hot_write_share",
+            "recall_fraction",
+            "burst_probability",
+            "activity_floor",
+            "presence_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.burst_multiplier < 1.0:
+            raise ValueError(
+                f"burst_multiplier must be >= 1, got {self.burst_multiplier}"
+            )
+        if self.day_sigma < 0.0:
+            raise ValueError(f"day_sigma must be >= 0, got {self.day_sigma}")
+        if not 0.0 <= self.weekend_factor <= 1.0:
+            raise ValueError(
+                f"weekend_factor must be in [0, 1], got {self.weekend_factor}"
+            )
+
+
+class MachineWorkload:
+    """A running machine: owns the memory image and advances it per epoch."""
+
+    def __init__(self, params: WorkloadParams, seed: int = 0) -> None:
+        self.params = params
+        self.rng = np.random.default_rng(seed)
+        # Seed-keyed allocator namespace: regenerating the same trace
+        # reproduces identical content ids bit for bit.
+        self.image = MemoryImage(params.num_pages, namespace=seed)
+        boot_populate(
+            self.image,
+            self.rng,
+            used_fraction=params.used_fraction,
+            duplicate_fraction=params.duplicate_fraction,
+            zero_fraction=params.zero_fraction,
+        )
+        mutable_count = int(params.num_pages * (1.0 - params.stable_fraction))
+        order = self.rng.permutation(params.num_pages)
+        self._mutable = order[:mutable_count]
+        hot_count = max(1, int(mutable_count * params.hot_fraction))
+        self._hot = self._mutable[:hot_count]
+        self._cold = self._mutable[hot_count:]
+        # Small pool of shared contents the duplicate writes draw from.
+        self._shared_sources = self.rng.choice(
+            params.num_pages, size=min(512, params.num_pages), replace=False
+        )
+        self.epoch = 0
+        self._day_multiplier = 1.0
+        self._day_index = -1
+        # Recall pool: content ids that were in memory at some point and
+        # may reappear (evicted file-cache blocks re-read later).
+        pool_seed = self.rng.choice(
+            self.image.slots, size=min(1024, params.num_pages), replace=False
+        )
+        # Sorted, static pool of "disk block" contents.  Entries cycle
+        # between resident (some page holds the content) and evicted;
+        # recalls prefer evicted entries, so a recalled page is unique
+        # in current memory (sender-side dedup cannot elide it) yet its
+        # content usually exists in any checkpoint old enough to predate
+        # the eviction (content hashes *can* elide it) — the §4.3
+        # hashes-vs-dirty asymmetry.
+        self._recall_pool = np.sort(np.asarray(pool_seed, dtype=np.uint64))
+        self._pool_live = np.ones(len(self._recall_pool), dtype=np.int32)
+
+    def activity_level(self, epoch: int) -> float:
+        """Activity in [floor, 1] for the given epoch index."""
+        params = self.params
+        hour_of_day = (epoch * EPOCH_SECONDS / 3600.0) % 24.0
+        day_index = int(epoch * EPOCH_SECONDS // 86400)
+        weekday = day_index % 7 < 5
+        if params.activity is ActivityPattern.CONSTANT:
+            base = 1.0
+        elif params.activity is ActivityPattern.DIURNAL:
+            # Strong day/night contrast: near-zero at night, peaking
+            # mid-afternoon.  The exponent sharpens the trough so pairs
+            # spanning only night epochs keep a high similarity — that
+            # contrast is what separates the paper's min/avg/max curves.
+            day = max(0.0, math.sin((hour_of_day - 6.0) / 24.0 * 2 * math.pi))
+            base = day**1.5
+        elif params.activity is ActivityPattern.OFFICE_HOURS:
+            base = 1.0 if (weekday and 9.0 <= hour_of_day < 17.0) else 0.0
+        elif params.activity is ActivityPattern.INTERMITTENT:
+            base = 1.0 if 8.0 <= hour_of_day < 23.0 else 0.0
+        else:  # pragma: no cover - exhaustive enum
+            raise AssertionError(params.activity)
+        if day_index != self._day_index:
+            self._day_index = day_index
+            self._day_multiplier = float(np.exp(self.rng.normal(0.0, params.day_sigma)))
+        if not weekday and params.activity is not ActivityPattern.OFFICE_HOURS:
+            base *= params.weekend_factor
+        noise = float(np.exp(self.rng.normal(0.0, 0.3)))
+        level = params.activity_floor + (
+            (1.0 - params.activity_floor) * base * noise * self._day_multiplier
+        )
+        return float(np.clip(level, params.activity_floor, 1.0))
+
+    def present(self, epoch: int) -> bool:
+        """Whether the machine produces a fingerprint this epoch.
+
+        Laptops are suspended part of the time; servers are always on
+        (modulo the paper's "handful" of missing server fingerprints,
+        which we do not model).
+        """
+        if self.params.activity is not ActivityPattern.INTERMITTENT:
+            return True
+        return bool(self.rng.random() < self.params.presence_probability)
+
+    def advance_epoch(self) -> float:
+        """Run the machine for one 30-minute epoch; return the activity."""
+        params = self.params
+        level = self.activity_level(self.epoch)
+        mutable_total = len(self._mutable)
+        volume = params.base_update_fraction * level * mutable_total
+        if self.rng.random() < params.burst_probability:
+            volume *= params.burst_multiplier
+        updates = min(int(round(volume)), mutable_total)
+        if updates:
+            hot_share = int(round(updates * params.hot_write_share))
+            hot_share = min(hot_share, len(self._hot))
+            cold_share = min(updates - hot_share, len(self._cold))
+            written = []
+            if hot_share:
+                written.append(
+                    self.rng.choice(self._hot, size=hot_share, replace=False)
+                )
+            if cold_share:
+                written.append(
+                    self.rng.choice(self._cold, size=cold_share, replace=False)
+                )
+            slots = np.concatenate(written) if written else np.empty(0, dtype=np.int64)
+            self.rng.shuffle(slots)
+            # The overwritten contents leave memory: mark pool members
+            # evicted so they become recall candidates.
+            self._evict_contents(slots)
+            # Split the writes three ways: duplicates of live shared
+            # content, recalls of previously seen content, fresh bytes.
+            dup_count = int(round(len(slots) * params.duplicate_fraction))
+            recall_count = int(round(len(slots) * params.recall_fraction))
+            recall_count = min(recall_count, len(slots) - dup_count)
+            dup_slots = slots[:dup_count]
+            recall_slots = slots[dup_count : dup_count + recall_count]
+            fresh_slots = slots[dup_count + recall_count :]
+            if len(fresh_slots):
+                self.image.write_fresh(fresh_slots)
+            if len(recall_slots):
+                contents = self._draw_recalls(len(recall_slots))
+                for slot, content in zip(recall_slots, contents):
+                    self.image.write_content(np.asarray([slot]), content)
+                if len(contents) < len(recall_slots):
+                    self.image.write_fresh(recall_slots[len(contents) :])
+            for slot in dup_slots:
+                source = int(self.rng.choice(self._shared_sources))
+                self.image.write_duplicate_of(np.asarray([slot]), source)
+            # Keep the zero-page population near its target by zeroing a
+            # few of the written pages.
+            zero_count = int(round(len(slots) * params.zero_fraction))
+            if zero_count:
+                self.image.zero(slots[:zero_count])
+        relocations = int(round(params.relocate_fraction * level * mutable_total))
+        if relocations >= 2:
+            slots = self.rng.choice(self._mutable, size=relocations, replace=False)
+            self.image.relocate(slots, self.rng)
+        self.epoch += 1
+        return level
+
+    def _evict_contents(self, slots: np.ndarray) -> None:
+        """Mark pool contents held by ``slots`` as evicted (about to be
+        overwritten)."""
+        if len(slots) == 0 or len(self._recall_pool) == 0:
+            return
+        contents = self.image.slots[np.asarray(slots, dtype=np.int64)]
+        positions = np.searchsorted(self._recall_pool, contents)
+        positions = np.clip(positions, 0, len(self._recall_pool) - 1)
+        hits = self._recall_pool[positions] == contents
+        np.subtract.at(self._pool_live, positions[hits], 1)
+        np.maximum(self._pool_live, 0, out=self._pool_live)
+
+    def _draw_recalls(self, count: int) -> np.ndarray:
+        """Pick up to ``count`` distinct evicted pool contents to re-read.
+
+        Preferring evicted entries keeps each recalled content unique in
+        current memory; drawing without replacement avoids manufacturing
+        intra-epoch duplicates.
+        """
+        evicted = np.nonzero(self._pool_live == 0)[0]
+        take = min(count, len(evicted))
+        if take == 0:
+            return np.empty(0, dtype=np.uint64)
+        chosen = self.rng.choice(evicted, size=take, replace=False)
+        self._pool_live[chosen] += 1
+        return self._recall_pool[chosen]
+
+    def fingerprint(self):
+        """Snapshot at the current epoch boundary."""
+        return self.image.fingerprint(timestamp=self.epoch * EPOCH_SECONDS)

@@ -1,0 +1,33 @@
+"""Byte-faithful mini-hypervisor: real pages, real MD5, real checkpoints."""
+
+from repro.vmm.guest import GuestRAM, mutate_random_pages, relocate_pages
+from repro.vmm.migrate import (
+    LiveMigrationResult,
+    MergeStats,
+    MigrationDestination,
+    MigrationResult,
+    MigrationSource,
+    PageMessage,
+    ProtocolError,
+    SendStats,
+    run_live_migration,
+    run_migration,
+    write_checkpoint,
+)
+
+__all__ = [
+    "GuestRAM",
+    "mutate_random_pages",
+    "relocate_pages",
+    "MergeStats",
+    "MigrationDestination",
+    "MigrationResult",
+    "MigrationSource",
+    "PageMessage",
+    "ProtocolError",
+    "SendStats",
+    "run_migration",
+    "run_live_migration",
+    "LiveMigrationResult",
+    "write_checkpoint",
+]

@@ -1,0 +1,74 @@
+"""Unit tests for the terminal plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.asciiplot import bar_chart, cdf_plot, line_plot
+
+
+class TestLinePlot:
+    def test_renders_series_and_legend(self):
+        out = line_plot([0, 1, 2], {"avg": [0.1, 0.5, 0.9]}, width=20, height=6)
+        assert "avg" in out
+        assert "*" in out
+        assert out.count("\n") >= 6
+
+    def test_multiple_series_distinct_markers(self):
+        out = line_plot(
+            [0, 1], {"a": [0.0, 1.0], "b": [1.0, 0.0]}, width=10, height=4
+        )
+        assert "*" in out and "o" in out
+
+    def test_nan_points_skipped(self):
+        out = line_plot([0, 1, 2], {"a": [0.5, float("nan"), 0.7]})
+        assert "a" in out
+
+    def test_flat_series_does_not_crash(self):
+        assert line_plot([0, 1], {"a": [0.5, 0.5]})
+
+    def test_single_x_value(self):
+        assert line_plot([3], {"a": [0.5]})
+
+    def test_y_range_override(self):
+        out = line_plot([0, 1], {"a": [0.2, 0.4]}, y_range=(0, 1), height=5)
+        assert "1.00" in out and "0.00" in out
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            line_plot([0, 1], {})
+        with pytest.raises(ValueError):
+            line_plot([], {"a": []})
+        with pytest.raises(ValueError):
+            line_plot([0, 1], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            line_plot([0], {"a": [float("nan")]})
+
+    def test_x_label(self):
+        out = line_plot([0, 1], {"a": [0, 1]}, x_label="hours")
+        assert "hours" in out
+
+
+class TestBarChart:
+    def test_bars_scaled(self):
+        out = bar_chart({"dedup": 0.9, "vecycle": 0.3}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+        assert "0.90" in out and "0.30" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_zero_values(self):
+        assert "0.00" in bar_chart({"a": 0.0})
+
+
+class TestCdfPlot:
+    def test_monotone_render(self):
+        data = np.random.default_rng(0).normal(10, 2, size=100)
+        out = cdf_plot(data, width=30, height=8, x_label="reduction %")
+        assert "CDF" in out and "reduction %" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_plot([])

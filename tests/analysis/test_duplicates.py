@@ -1,0 +1,55 @@
+"""Unit tests for the duplicate/zero page analysis (Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.duplicates import duplicate_series
+from repro.core.fingerprint import Fingerprint
+from repro.traces.generate import Trace
+
+
+def trace_of(rows):
+    fingerprints = [
+        Fingerprint(hashes=np.asarray(row, dtype=np.uint64), timestamp=i * 1800.0)
+        for i, row in enumerate(rows)
+    ]
+    return Trace(machine="t", ram_bytes=4096 * len(rows[0]), fingerprints=fingerprints)
+
+
+class TestDuplicateSeries:
+    def test_all_unique_no_duplicates(self):
+        series = duplicate_series(trace_of([[1, 2, 3, 4]]))
+        assert series.duplicate_fraction[0] == 0.0
+
+    def test_duplicate_fraction_definition(self):
+        # §4.2: 1 - unique/total.
+        series = duplicate_series(trace_of([[1, 1, 2, 3]]))
+        assert series.duplicate_fraction[0] == pytest.approx(0.25)
+
+    def test_zero_fraction(self):
+        series = duplicate_series(trace_of([[0, 0, 1, 2]]))
+        assert series.zero_fraction[0] == pytest.approx(0.5)
+
+    def test_zero_pages_count_as_duplicates(self):
+        # Figure 4's observation: zero pages are a subset of duplicates.
+        series = duplicate_series(trace_of([[0, 0, 0, 5]]))
+        assert series.duplicate_fraction[0] >= series.zero_fraction[0] - 0.26
+
+    def test_hours_axis(self):
+        series = duplicate_series(trace_of([[1]] * 4))
+        assert series.hours[1] == pytest.approx(0.5)
+
+    def test_means(self):
+        series = duplicate_series(trace_of([[1, 1], [1, 2]]))
+        assert series.mean_duplicate_fraction == pytest.approx(0.25)
+        assert series.mean_zero_fraction == 0.0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            duplicate_series(Trace(machine="t", ram_bytes=0, fingerprints=[]))
+
+
+class TestPresetsMatchFigure4(object):
+    def test_tiny_trace_dup_exceeds_zero(self, tiny_trace):
+        series = duplicate_series(tiny_trace)
+        assert series.mean_duplicate_fraction > series.mean_zero_fraction

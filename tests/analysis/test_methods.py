@@ -1,0 +1,112 @@
+"""Unit tests for the method comparison analysis (Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.methods import (
+    cdf,
+    compare_methods_over_trace,
+    pair_fractions,
+)
+from repro.core.checkpoint import ChecksumIndex
+from repro.core.fingerprint import Fingerprint
+from repro.core.transfer import Method, PAPER_METHODS, compute_transfer_set
+from repro.traces.generate import Trace
+
+
+def fp(values, timestamp=0.0):
+    return Fingerprint(hashes=np.asarray(values, dtype=np.uint64), timestamp=timestamp)
+
+
+class TestPairFractions:
+    def test_agrees_with_transfer_sets(self):
+        rng = np.random.default_rng(0)
+        checkpoint_hashes = rng.integers(0, 30, size=64).astype(np.uint64)
+        current_hashes = checkpoint_hashes.copy()
+        current_hashes[rng.choice(64, size=20, replace=False)] = rng.integers(
+            30, 60, size=20
+        ).astype(np.uint64)
+        current, checkpoint = Fingerprint(current_hashes), Fingerprint(checkpoint_hashes)
+        index = ChecksumIndex(checkpoint)
+        fractions = pair_fractions(
+            current_hashes, checkpoint_hashes, index, tuple(Method)
+        )
+        for method in Method:
+            expected = compute_transfer_set(
+                method,
+                current,
+                checkpoint=checkpoint if method.uses_checkpoint else None,
+            )
+            assert fractions[method] == pytest.approx(expected.page_fraction), method
+
+    def test_identical_pair_only_dedup_cost(self):
+        values = np.asarray([1, 1, 2, 3], dtype=np.uint64)
+        index = ChecksumIndex(Fingerprint(values))
+        fractions = pair_fractions(values, values, index, PAPER_METHODS)
+        assert fractions[Method.HASHES] == 0.0
+        assert fractions[Method.DIRTY] == 0.0
+        assert fractions[Method.DEDUP] == pytest.approx(3 / 4)
+
+
+class TestCompareOverTrace:
+    def _trace(self, rows):
+        prints = [fp(row, timestamp=(i + 1) * 1800.0) for i, row in enumerate(rows)]
+        return Trace(machine="t", ram_bytes=4096 * len(rows[0]), fingerprints=prints)
+
+    def test_pair_enumeration(self):
+        trace = self._trace([[1, 2]] * 5)
+        comparison = compare_methods_over_trace(trace)
+        assert comparison.num_pairs == 10
+
+    def test_max_pairs_subsamples(self):
+        trace = self._trace([[1, 2]] * 10)
+        comparison = compare_methods_over_trace(trace, max_pairs=7, seed=1)
+        assert comparison.num_pairs == 7
+
+    def test_delta_filters(self):
+        trace = self._trace([[1, 2]] * 10)
+        comparison = compare_methods_over_trace(
+            trace, min_delta_hours=1.0, max_delta_hours=2.0
+        )
+        # Deltas of 1, 1.5 and 2 hours between 10 half-hourly prints.
+        assert comparison.num_pairs == 8 + 7 + 6
+
+    def test_no_pairs_raises(self):
+        trace = self._trace([[1]] * 2)
+        with pytest.raises(ValueError):
+            compare_methods_over_trace(trace, min_delta_hours=10)
+
+    def test_single_fingerprint_raises(self):
+        with pytest.raises(ValueError):
+            compare_methods_over_trace(self._trace([[1]]))
+
+    def test_reduction_over_handles_zero_baseline(self):
+        trace = self._trace([[1, 2]] * 4)
+        comparison = compare_methods_over_trace(trace)
+        reduction = comparison.reduction_over()
+        assert (reduction == 0.0).all()
+
+    def test_figure5_orderings_on_realistic_trace(self, tiny_trace):
+        comparison = compare_methods_over_trace(tiny_trace, max_pairs=150, seed=5)
+        dedup = comparison.mean_fraction(Method.DEDUP)
+        dirty = comparison.mean_fraction(Method.DIRTY)
+        dirty_dedup = comparison.mean_fraction(Method.DIRTY_DEDUP)
+        hashes = comparison.mean_fraction(Method.HASHES)
+        hashes_dedup = comparison.mean_fraction(Method.HASHES_DEDUP)
+        # §4.3's findings, as orderings.
+        assert dedup > dirty > dirty_dedup
+        assert hashes < dirty
+        assert hashes_dedup <= hashes
+        assert hashes_dedup < dirty_dedup
+
+
+class TestCdf:
+    def test_cdf_shape(self):
+        values, probabilities = cdf(np.asarray([3.0, 1.0, 2.0]))
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert probabilities[-1] == 1.0
+        assert (np.diff(probabilities) > 0).all()
+
+    def test_empty(self):
+        values, probabilities = cdf(np.asarray([]))
+        assert values.size == 0 and probabilities.size == 0

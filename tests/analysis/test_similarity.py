@@ -1,0 +1,106 @@
+"""Unit tests for the similarity-decay analysis (Figures 1 and 2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.similarity import similarity_decay
+from repro.core.fingerprint import Fingerprint
+from repro.traces.generate import Trace, generate_trace
+from repro.traces.workload import EPOCH_SECONDS
+
+from tests.conftest import tiny_machine
+
+
+def synthetic_trace(hash_rows, epoch_seconds=EPOCH_SECONDS):
+    fingerprints = [
+        Fingerprint(
+            hashes=np.asarray(row, dtype=np.uint64),
+            timestamp=(i + 1) * epoch_seconds,
+        )
+        for i, row in enumerate(hash_rows)
+    ]
+    return Trace(machine="synthetic", ram_bytes=len(hash_rows[0]) * 4096,
+                 fingerprints=fingerprints)
+
+
+class TestBinning:
+    def test_constant_memory_full_similarity_everywhere(self):
+        trace = synthetic_trace([[1, 2, 3]] * 10)
+        decay = similarity_decay(trace, max_delta_hours=5)
+        populated = decay.counts > 0
+        assert populated.any()
+        assert np.allclose(decay.average[populated], 1.0)
+        assert np.allclose(decay.minimum[populated], 1.0)
+
+    def test_completely_changing_memory_zero_similarity(self):
+        rows = [[10 * i + j for j in range(4)] for i in range(1, 8)]
+        trace = synthetic_trace(rows)
+        decay = similarity_decay(trace, max_delta_hours=4)
+        populated = decay.counts > 0
+        assert np.allclose(decay.maximum[populated], 0.0)
+
+    def test_bin_structure_follows_paper(self):
+        # First bin covers [15, 45) minutes and is centred at 0.5 h.
+        trace = synthetic_trace([[1]] * 4)
+        decay = similarity_decay(trace, max_delta_hours=2)
+        assert decay.bin_hours[0] == pytest.approx(0.5)
+        assert decay.bin_hours[1] == pytest.approx(1.0)
+        # 3 consecutive 30-min pairs land in the first bin.
+        assert decay.counts[0] == 3
+
+    def test_pair_count_matches_combinatorics(self):
+        n = 10
+        trace = synthetic_trace([[1, 2]] * n)
+        decay = similarity_decay(trace, max_delta_hours=24)
+        assert decay.counts.sum() == n * (n - 1) // 2
+
+    def test_max_delta_excludes_far_pairs(self):
+        trace = synthetic_trace([[1]] * 20)
+        decay = similarity_decay(trace, max_delta_hours=1)
+        # Only deltas of 30 and 60 minutes fit below 1 h... the bin edge
+        # logic keeps deltas in [15m, 1h).
+        assert decay.counts.sum() == 19  # the 30-minute pairs only
+
+    def test_subsampling_bounds_work(self):
+        trace = synthetic_trace([[1, 2]] * 30)
+        decay = similarity_decay(trace, max_delta_hours=24, max_pairs_per_bin=5)
+        assert decay.counts.max() <= 5
+
+    def test_needs_two_fingerprints(self):
+        with pytest.raises(ValueError):
+            similarity_decay(synthetic_trace([[1]]), max_delta_hours=1)
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            similarity_decay(synthetic_trace([[1]] * 3), bin_minutes=0)
+
+
+class TestAtHours:
+    def test_nearest_bin_lookup(self):
+        trace = synthetic_trace([[1, 2]] * 8)
+        decay = similarity_decay(trace, max_delta_hours=4)
+        lo, avg, hi = decay.at_hours(1.0)
+        assert lo == avg == hi == 1.0
+
+    def test_empty_decay_raises(self):
+        trace = synthetic_trace([[1]] * 3)
+        decay = similarity_decay(trace, max_delta_hours=24)
+        # Bins beyond the trace length are empty but at_hours falls back
+        # to the nearest populated bin.
+        assert decay.at_hours(23.0)
+
+
+class TestRealisticDecay:
+    def test_similarity_decreases_with_delta(self):
+        trace = generate_trace(tiny_machine(), num_epochs=48)
+        decay = similarity_decay(trace, max_delta_hours=20)
+        short = decay.at_hours(1)[1]
+        long = decay.at_hours(18)[1]
+        assert short > long
+
+    def test_min_le_avg_le_max(self):
+        trace = generate_trace(tiny_machine(), num_epochs=48)
+        decay = similarity_decay(trace, max_delta_hours=20)
+        populated = decay.counts > 0
+        assert (decay.minimum[populated] <= decay.average[populated] + 1e-12).all()
+        assert (decay.average[populated] <= decay.maximum[populated] + 1e-12).all()

@@ -1,0 +1,78 @@
+"""Unit tests for checkpoint retention policies."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.gc import TtlRetention, ValueRetention, collect_garbage
+from repro.core.checkpoint import Checkpoint, CheckpointStore
+from repro.core.fingerprint import Fingerprint
+from repro.core.prediction import SimilarityPredictor
+
+HOUR = 3600.0
+
+
+def checkpoint(vm_id, timestamp=0.0):
+    return Checkpoint(
+        vm_id=vm_id,
+        fingerprint=Fingerprint(
+            hashes=np.arange(4, dtype=np.uint64), timestamp=timestamp
+        ),
+    )
+
+
+class TestTtlRetention:
+    def test_young_kept_old_dropped(self):
+        policy = TtlRetention(ttl_s=24 * HOUR)
+        assert policy.keep(checkpoint("a", timestamp=0.0), now_s=23 * HOUR)
+        assert not policy.keep(checkpoint("a", timestamp=0.0), now_s=25 * HOUR)
+
+    def test_boundary_inclusive(self):
+        policy = TtlRetention(ttl_s=HOUR)
+        assert policy.keep(checkpoint("a", 0.0), now_s=HOUR)
+
+    def test_invalid_ttl(self):
+        with pytest.raises(ValueError):
+            TtlRetention(ttl_s=0)
+
+
+class TestValueRetention:
+    def _fast_decay_predictor(self):
+        predictor = SimilarityPredictor()
+        for age_h, similarity in ((0.5, 0.5), (1, 0.3), (2, 0.1), (4, 0.03), (8, 0.02)):
+            predictor.observe(age_h * HOUR, similarity)
+        return predictor
+
+    def test_default_predictor_keeps_fresh(self):
+        policy = ValueRetention(min_similarity=0.15)
+        assert policy.keep(checkpoint("a", 0.0), now_s=HOUR)
+
+    def test_fast_decay_vm_dropped_early(self):
+        policy = ValueRetention(
+            min_similarity=0.15,
+            predictors={"crawler": self._fast_decay_predictor()},
+        )
+        assert policy.keep(checkpoint("crawler", 0.0), now_s=0.5 * HOUR)
+        assert not policy.keep(checkpoint("crawler", 0.0), now_s=6 * HOUR)
+        # The default (slow) predictor still keeps other VMs at 6 h.
+        assert policy.keep(checkpoint("server", 0.0), now_s=6 * HOUR)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ValueRetention(min_similarity=1.5)
+
+
+class TestCollectGarbage:
+    def test_evicts_only_rejected(self):
+        store = CheckpointStore()
+        store.store(checkpoint("old", timestamp=0.0))
+        store.store(checkpoint("new", timestamp=100 * HOUR))
+        evicted = collect_garbage(store, TtlRetention(ttl_s=24 * HOUR), now_s=101 * HOUR)
+        assert evicted == ["old"]
+        assert "new" in store and "old" not in store
+
+    def test_idempotent(self):
+        store = CheckpointStore()
+        store.store(checkpoint("a", 0.0))
+        policy = TtlRetention(ttl_s=1.0)
+        collect_garbage(store, policy, now_s=10.0)
+        assert collect_garbage(store, policy, now_s=10.0) == []

@@ -1,0 +1,49 @@
+"""Unit tests for the Host abstraction."""
+
+import numpy as np
+
+from repro.cluster.host import Host
+from repro.core.checkpoint import Checkpoint, CheckpointStore
+from repro.core.fingerprint import Fingerprint
+from repro.storage.disk import SSD_INTEL330
+
+
+def checkpoint(vm_id="vm", pages=4):
+    return Checkpoint(
+        vm_id=vm_id,
+        fingerprint=Fingerprint(hashes=np.arange(pages, dtype=np.uint64)),
+    )
+
+
+class TestHost:
+    def test_default_disk_is_hdd(self):
+        # The paper's default checkpoint store is the spinning disk.
+        assert Host(name="h").disk.name == "hdd-hd204ui"
+
+    def test_custom_disk(self):
+        assert Host(name="h", disk=SSD_INTEL330).disk is SSD_INTEL330
+
+    def test_checkpoint_roundtrip(self):
+        host = Host(name="h")
+        cp = checkpoint()
+        host.save_checkpoint(cp)
+        assert host.checkpoint_for("vm") is cp
+        assert host.checkpoint_for("other") is None
+
+    def test_independent_stores(self):
+        a, b = Host(name="a"), Host(name="b")
+        a.save_checkpoint(checkpoint())
+        assert b.checkpoint_for("vm") is None
+
+    def test_bounded_store(self):
+        host = Host(name="h", store=CheckpointStore(capacity_bytes=8 * 4096))
+        host.save_checkpoint(checkpoint("vm1"))
+        host.save_checkpoint(checkpoint("vm2"))
+        host.save_checkpoint(checkpoint("vm3"))
+        assert len(host.store) == 2  # capacity is two 4-page checkpoints
+
+    def test_peer_hash_bookkeeping_per_vm(self):
+        host = Host(name="h")
+        host.learn_peer_hashes("vm1", "peer")
+        assert host.knows_peer_hashes("vm1", "peer")
+        assert not host.knows_peer_hashes("vm2", "peer")

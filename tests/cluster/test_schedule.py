@@ -1,0 +1,75 @@
+"""Unit tests for migration schedules."""
+
+import pytest
+
+from repro.cluster.schedule import (
+    ping_pong_schedule,
+    vdi_schedule,
+    weekday_of_trace_day,
+)
+
+
+class TestWeekdays:
+    def test_day_zero_is_tuesday(self):
+        # Trace day 0..3 = Tue..Fri, 4..5 = weekend, 6 = Monday.
+        assert [weekday_of_trace_day(d) for d in range(7)] == [
+            True, True, True, True, False, False, True,
+        ]
+
+    def test_negative_day_rejected(self):
+        with pytest.raises(ValueError):
+            weekday_of_trace_day(-1)
+
+
+class TestPingPong:
+    def test_alternates_hosts(self):
+        events = ping_pong_schedule(2.0, 4, host_a="a", host_b="b")
+        assert [(e.source, e.destination) for e in events] == [
+            ("a", "b"), ("b", "a"), ("a", "b"), ("b", "a"),
+        ]
+
+    def test_interval_spacing(self):
+        events = ping_pong_schedule(3.0, 3)
+        assert [e.time_hours for e in events] == [0.0, 3.0, 6.0]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ping_pong_schedule(0, 2)
+        with pytest.raises(ValueError):
+            ping_pong_schedule(1, 0)
+
+
+class TestVdiSchedule:
+    def test_paper_count_26_migrations(self):
+        events = vdi_schedule(19)
+        assert len(events) == 26  # 13 weekdays × 2 (§4.6)
+
+    def test_no_weekend_migrations(self):
+        for event in vdi_schedule(19):
+            day = int(event.time_hours // 24)
+            assert weekday_of_trace_day(day)
+
+    def test_morning_goes_to_workstation(self):
+        events = vdi_schedule(5)
+        mornings = [e for e in events if e.time_hours % 24 == 9.0]
+        assert all(e.destination == "workstation" for e in mornings)
+        assert all(e.source == "consolidation-server" for e in mornings)
+
+    def test_evening_goes_to_server(self):
+        events = vdi_schedule(5)
+        evenings = [e for e in events if e.time_hours % 24 == 17.0]
+        assert all(e.destination == "consolidation-server" for e in evenings)
+
+    def test_sorted_by_time(self):
+        times = [e.time_hours for e in vdi_schedule(19)]
+        assert times == sorted(times)
+
+    def test_short_trace_fewer_weekdays(self):
+        events = vdi_schedule(3)  # Tue, Wed, Thu
+        assert len(events) == 6
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            vdi_schedule(0)
+        with pytest.raises(ValueError):
+            vdi_schedule(5, morning_hour=18, evening_hour=9)

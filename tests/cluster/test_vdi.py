@@ -1,0 +1,100 @@
+"""Tests for the VDI consolidation replay (Figure 8)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.schedule import MigrationEvent
+from repro.cluster.vdi import VDI_METHODS, replay_vdi
+from repro.core.fingerprint import Fingerprint
+from repro.core.transfer import Method
+from repro.traces.generate import Trace
+
+
+def trace_of(rows, epoch_hours=0.5, ram_bytes=None):
+    fingerprints = [
+        Fingerprint(
+            hashes=np.asarray(row, dtype=np.uint64),
+            timestamp=(i + 1) * epoch_hours * 3600,
+        )
+        for i, row in enumerate(rows)
+    ]
+    return Trace(
+        machine="desk",
+        ram_bytes=ram_bytes or 4096 * len(rows[0]),
+        fingerprints=fingerprints,
+    )
+
+
+def simple_schedule(times):
+    events = []
+    location = "server"
+    for t in times:
+        other = "workstation" if location == "server" else "server"
+        events.append(MigrationEvent(time_hours=t, source=location, destination=other))
+        location = other
+    return events
+
+
+class TestReplay:
+    def test_first_migration_is_full(self):
+        trace = trace_of([[1, 2, 3, 4]] * 8)
+        result = replay_vdi(trace, schedule=simple_schedule([1.0, 2.0]))
+        assert result.records[0].fractions[Method.FULL] == 1.0
+        # dedup still helps on the first migration.
+        assert result.records[0].fractions[Method.DEDUP] == 1.0  # all unique
+
+    def test_unchanged_memory_second_migration_free(self):
+        trace = trace_of([[1, 2, 3, 4]] * 8)
+        result = replay_vdi(trace, schedule=simple_schedule([1.0, 2.0]))
+        second = result.records[1].fractions
+        assert second[Method.HASHES_DEDUP] == 0.0
+        assert second[Method.DIRTY_DEDUP] == 0.0
+
+    def test_changed_memory_costs_traffic(self):
+        trace = trace_of([[1, 2, 3, 4], [1, 2, 3, 4], [9, 8, 3, 4], [9, 8, 3, 4]])
+        result = replay_vdi(trace, schedule=simple_schedule([0.5, 1.5]))
+        second = result.records[1].fractions
+        assert second[Method.HASHES_DEDUP] == pytest.approx(0.5)
+
+    def test_totals_and_fractions(self):
+        trace = trace_of([[1, 2]] * 6, ram_bytes=100)
+        result = replay_vdi(trace, schedule=simple_schedule([0.5, 1.0, 1.5]))
+        assert result.total_bytes(Method.FULL) == pytest.approx(300.0)
+        assert result.fraction_of_baseline(Method.FULL) == 1.0
+        # Later migrations free → vecycle total = first migration only.
+        vecycle = result.total_bytes(Method.HASHES_DEDUP)
+        assert vecycle == pytest.approx(result.records[0].fractions[Method.HASHES_DEDUP] * 100)
+
+    def test_per_migration_percent(self):
+        trace = trace_of([[1, 2]] * 4)
+        result = replay_vdi(trace, schedule=simple_schedule([0.5, 1.0]))
+        series = result.per_migration_percent(Method.FULL)
+        assert series == [100.0, 100.0]
+
+    def test_empty_schedule_rejected(self):
+        trace = trace_of([[1, 2]] * 4)
+        with pytest.raises(ValueError):
+            replay_vdi(trace, schedule=[])
+
+    def test_default_schedule_from_trace_duration(self, tiny_trace):
+        result = replay_vdi(tiny_trace)
+        # One day (Tuesday) → two migrations.
+        assert result.num_migrations == 2
+
+    def test_vdi_methods_cover_figure8(self):
+        assert Method.FULL in VDI_METHODS
+        assert Method.DEDUP in VDI_METHODS
+        assert Method.HASHES_DEDUP in VDI_METHODS
+
+
+class TestCheckpointChaining:
+    def test_checkpoint_is_previous_migration_state(self):
+        # Memory changes only between migrations 2 and 3; migration 3's
+        # traffic must reflect the delta to migration 2's state, not to
+        # the original state.
+        rows = [[1, 2, 3, 4], [1, 2, 3, 4], [5, 6, 3, 4], [5, 6, 7, 4]]
+        trace = trace_of(rows)
+        result = replay_vdi(trace, schedule=simple_schedule([0.5, 1.5, 2.0]))
+        third = result.records[2].fractions
+        # Between fp index 2 (t=1.5h) and 3 (t=2h): one page changed.
+        assert third[Method.HASHES_DEDUP] == pytest.approx(0.25)

@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import Checkpoint
+from repro.mem.image import MemoryImage
+from repro.mem.mutation import boot_populate
+from repro.migration.vm import SimVM
+from repro.traces.generate import Trace, generate_trace
+from repro.traces.presets import MachineSpec
+from repro.traces.workload import ActivityPattern, WorkloadParams
+
+MIB = 2**20
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_image(rng) -> MemoryImage:
+    """A populated 256-page image (1 MiB of 4 KiB pages)."""
+    image = MemoryImage(256)
+    boot_populate(
+        image, rng, used_fraction=0.9, duplicate_fraction=0.1, zero_fraction=0.05
+    )
+    return image
+
+
+@pytest.fixture
+def small_vm(rng) -> SimVM:
+    """A 16 MiB idle VM with populated memory."""
+    vm = SimVM.idle("test-vm", 16 * MIB, seed=5)
+    boot_populate(
+        vm.image, rng, used_fraction=0.9, duplicate_fraction=0.1, zero_fraction=0.05
+    )
+    return vm
+
+
+@pytest.fixture
+def small_checkpoint(small_vm) -> Checkpoint:
+    return Checkpoint(
+        vm_id=small_vm.vm_id,
+        fingerprint=small_vm.fingerprint(),
+        generation_vector=small_vm.tracker.snapshot(),
+    )
+
+
+def tiny_machine(
+    seed: int = 99,
+    activity: ActivityPattern = ActivityPattern.DIURNAL,
+    **overrides,
+) -> MachineSpec:
+    """A small, fast machine spec for trace tests."""
+    params = WorkloadParams(
+        num_pages=2048,
+        stable_fraction=0.2,
+        hot_fraction=0.3,
+        hot_write_share=0.8,
+        base_update_fraction=0.3,
+        duplicate_fraction=0.08,
+        zero_fraction=0.03,
+        relocate_fraction=0.01,
+        recall_fraction=0.2,
+        activity=activity,
+        activity_floor=0.05,
+        **overrides,
+    )
+    return MachineSpec(
+        name="Tiny",
+        os="Linux",
+        trace_id="tiny",
+        ram_bytes=2048 * 4096,
+        trace_days=1,
+        params=params,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_trace() -> Trace:
+    """A 1-day trace of a small machine, shared across tests."""
+    return generate_trace(tiny_machine(), num_epochs=48)

@@ -1,0 +1,92 @@
+"""Persistence tests for the checkpoint store (host restart survival)."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import Checkpoint, CheckpointStore
+from repro.core.fingerprint import Fingerprint
+
+
+def checkpoint(vm_id, pages=8, timestamp=0.0, with_generations=True):
+    rng = np.random.default_rng(hash(vm_id) % 2**31)
+    return Checkpoint(
+        vm_id=vm_id,
+        fingerprint=Fingerprint(
+            hashes=rng.integers(0, 100, size=pages).astype(np.uint64),
+            timestamp=timestamp,
+        ),
+        generation_vector=(
+            rng.integers(0, 5, size=pages).astype(np.int64)
+            if with_generations
+            else None
+        ),
+    )
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        store = CheckpointStore()
+        store.store(checkpoint("vm-a", timestamp=100.0))
+        store.store(checkpoint("vm-b", timestamp=200.0, with_generations=False))
+        path = tmp_path / "store.npz"
+        store.save(path)
+
+        loaded = CheckpointStore.load(path)
+        assert loaded.vm_ids() == ["vm-a", "vm-b"]
+        for vm_id in ("vm-a", "vm-b"):
+            original = store.get(vm_id)
+            restored = loaded.get(vm_id)
+            assert (original.fingerprint.hashes == restored.fingerprint.hashes).all()
+            assert original.timestamp == restored.timestamp
+        assert loaded.get("vm-b").generation_vector is None
+        assert (
+            loaded.get("vm-a").generation_vector
+            == store.get("vm-a").generation_vector
+        ).all()
+
+    def test_capacity_preserved(self, tmp_path):
+        bounded = CheckpointStore(capacity_bytes=1 << 20)
+        bounded.store(checkpoint("vm", pages=4))
+        path = tmp_path / "bounded.npz"
+        bounded.save(path)
+        assert CheckpointStore.load(path).capacity_bytes == 1 << 20
+
+    def test_unbounded_preserved(self, tmp_path):
+        store = CheckpointStore()
+        store.store(checkpoint("vm"))
+        path = tmp_path / "unbounded.npz"
+        store.save(path)
+        assert CheckpointStore.load(path).capacity_bytes is None
+
+    def test_empty_store_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        CheckpointStore().save(path)
+        assert CheckpointStore.load(path).vm_ids() == []
+
+    def test_index_rebuilt_after_load(self, tmp_path):
+        store = CheckpointStore()
+        original = checkpoint("vm")
+        store.store(original)
+        path = tmp_path / "store.npz"
+        store.save(path)
+        restored = CheckpointStore.load(path).get("vm")
+        for value in np.unique(original.fingerprint.hashes):
+            assert restored.index.lookup(int(value)) is not None
+
+    def test_restored_store_usable_for_migration(self, tmp_path, small_vm):
+        from repro.core.strategies import VECYCLE
+        from repro.migration.precopy import simulate_migration
+        from repro.net.link import LAN_1GBE
+
+        store = CheckpointStore()
+        store.store(
+            Checkpoint(vm_id=small_vm.vm_id, fingerprint=small_vm.fingerprint())
+        )
+        path = tmp_path / "host.npz"
+        store.save(path)
+        restored = CheckpointStore.load(path)
+        report = simulate_migration(
+            small_vm, VECYCLE, LAN_1GBE, checkpoint=restored.get(small_vm.vm_id)
+        )
+        assert report.similarity == pytest.approx(1.0)
+        assert report.pages_full == 0

@@ -1,0 +1,78 @@
+"""Unit tests for repro.core.dedup."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.dedup import DedupCache, dedup_split, dedup_unique_count
+
+hash_arrays = arrays(
+    dtype=np.uint64,
+    shape=st.integers(min_value=0, max_value=128),
+    elements=st.integers(min_value=0, max_value=15),
+)
+
+
+class TestDedupCache:
+    def test_first_offer_is_miss(self):
+        cache = DedupCache()
+        assert cache.offer(42) is False
+
+    def test_repeat_offer_is_hit(self):
+        cache = DedupCache()
+        cache.offer(42)
+        assert cache.offer(42) is True
+
+    def test_distinct_contents_all_miss(self):
+        cache = DedupCache()
+        assert [cache.offer(h) for h in (1, 2, 3)] == [False, False, False]
+        assert len(cache) == 3
+
+    def test_reset_clears_state(self):
+        cache = DedupCache()
+        cache.offer(1)
+        cache.reset()
+        assert cache.offer(1) is False
+
+
+class TestDedupSplit:
+    def test_all_unique_all_full(self):
+        full, ref = dedup_split(np.asarray([1, 2, 3], dtype=np.uint64))
+        assert full.all() and not ref.any()
+
+    def test_repeats_become_refs(self):
+        full, ref = dedup_split(np.asarray([5, 5, 5], dtype=np.uint64))
+        assert list(full) == [True, False, False]
+        assert list(ref) == [False, True, True]
+
+    def test_first_occurrence_in_stream_order_is_full(self):
+        full, _ = dedup_split(np.asarray([9, 1, 9, 1, 2], dtype=np.uint64))
+        assert list(full) == [True, True, False, False, True]
+
+    def test_empty_input(self):
+        full, ref = dedup_split(np.asarray([], dtype=np.uint64))
+        assert full.size == 0 and ref.size == 0
+
+    @given(hash_arrays)
+    def test_masks_partition_input(self, hashes):
+        full, ref = dedup_split(hashes)
+        assert (full ^ ref).all() or hashes.size == 0
+        assert int(full.sum()) == dedup_unique_count(hashes)
+
+    @given(hash_arrays)
+    def test_split_agrees_with_cache(self, hashes):
+        cache = DedupCache()
+        expected = [not cache.offer(int(h)) for h in hashes]
+        full, _ = dedup_split(hashes)
+        assert list(full) == expected
+
+
+class TestUniqueCount:
+    def test_empty(self):
+        assert dedup_unique_count([]) == 0
+
+    def test_counts_distinct(self):
+        assert dedup_unique_count([1, 1, 2, 3, 3, 3]) == 3
+
+    def test_accepts_iterables(self):
+        assert dedup_unique_count(iter([4, 4, 5])) == 2

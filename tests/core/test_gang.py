@@ -1,0 +1,121 @@
+"""Unit tests for gang migration (cross-VM redundancy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import Checkpoint
+from repro.core.fingerprint import Fingerprint
+from repro.core.gang import (
+    GangMember,
+    gang_transfer_set,
+    shared_base_image_fleet,
+)
+
+
+def fp(values):
+    return Fingerprint(hashes=np.asarray(values, dtype=np.uint64))
+
+
+def member(vm_id, values, checkpoint_values=None):
+    checkpoint = None
+    if checkpoint_values is not None:
+        checkpoint = Checkpoint(vm_id=vm_id, fingerprint=fp(checkpoint_values))
+    return GangMember(vm_id=vm_id, fingerprint=fp(values), checkpoint=checkpoint)
+
+
+class TestCrossVmDedup:
+    def test_shared_pages_sent_once(self):
+        gang = [member("a", [1, 2, 3]), member("b", [1, 2, 4])]
+        result = gang_transfer_set(gang, cross_vm_dedup=True)
+        assert result.per_vm_full["a"] == 3
+        assert result.per_vm_full["b"] == 1  # only the private page
+        assert result.per_vm_ref["b"] == 2
+
+    def test_without_cross_dedup_each_vm_pays(self):
+        gang = [member("a", [1, 2, 3]), member("b", [1, 2, 4])]
+        result = gang_transfer_set(gang, cross_vm_dedup=False)
+        assert result.per_vm_full["b"] == 3
+
+    def test_intra_vm_duplicates_still_deduped_either_way(self):
+        gang = [member("a", [5, 5, 5])]
+        for cross in (True, False):
+            result = gang_transfer_set(gang, cross_vm_dedup=cross)
+            assert result.per_vm_full["a"] == 1
+            assert result.per_vm_ref["a"] == 2
+
+    def test_totals(self):
+        gang = [member("a", [1, 2]), member("b", [2, 3])]
+        result = gang_transfer_set(gang)
+        assert result.total_pages == 4
+        assert result.full_pages + result.ref_pages + result.reused_pages == 4
+        assert 0.0 <= result.page_fraction <= 1.0
+
+
+class TestCheckpointsInGangs:
+    def test_own_checkpoint_reuse(self):
+        gang = [member("a", [1, 2, 9], checkpoint_values=[1, 2, 3])]
+        result = gang_transfer_set(gang)
+        assert result.per_vm_reused["a"] == 2
+        assert result.per_vm_full["a"] == 1
+
+    def test_cross_vm_checkpoints(self):
+        # b has no checkpoint, but a's checkpoint holds b's content.
+        gang = [
+            member("a", [1, 2], checkpoint_values=[1, 2]),
+            member("b", [1, 2]),
+        ]
+        isolated = gang_transfer_set(gang, cross_vm_checkpoints=False)
+        merged = gang_transfer_set(gang, cross_vm_checkpoints=True)
+        assert isolated.per_vm_reused["b"] == 0
+        assert merged.per_vm_reused["b"] == 2
+        assert merged.full_pages < isolated.full_pages
+
+    def test_checkpoint_beats_dedup_in_priority(self):
+        # Content in the checkpoint never enters the stream, so the
+        # second VM cannot reference it — it reuses its own checkpoint.
+        gang = [
+            member("a", [7], checkpoint_values=[7]),
+            member("b", [7], checkpoint_values=[7]),
+        ]
+        result = gang_transfer_set(gang)
+        assert result.full_pages == 0
+        assert result.reused_pages == 2
+
+
+class TestValidation:
+    def test_empty_gang_rejected(self):
+        with pytest.raises(ValueError):
+            gang_transfer_set([])
+
+    def test_duplicate_ids_rejected(self):
+        gang = [member("a", [1]), member("a", [2])]
+        with pytest.raises(ValueError):
+            gang_transfer_set(gang)
+
+
+class TestSharedBaseImageFleet:
+    def test_shapes_and_sharing(self):
+        rng = np.random.default_rng(1)
+        fleet = shared_base_image_fleet(4, 256, shared_fraction=0.5, rng=rng)
+        assert len(fleet) == 4
+        assert all(f.num_pages == 256 for f in fleet)
+        shared = np.intersect1d(
+            fleet[0].unique_hashes(), fleet[1].unique_hashes()
+        )
+        assert len(shared) >= 0.45 * 256
+
+    def test_gang_dedup_wins_on_shared_images(self):
+        rng = np.random.default_rng(2)
+        fleet = shared_base_image_fleet(4, 256, shared_fraction=0.6, rng=rng)
+        gang = [GangMember(vm_id=f"vm{i}", fingerprint=f) for i, f in enumerate(fleet)]
+        together = gang_transfer_set(gang, cross_vm_dedup=True)
+        separate = gang_transfer_set(gang, cross_vm_dedup=False)
+        # The shared base crosses once instead of four times.
+        assert together.full_pages < 0.7 * separate.full_pages
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            shared_base_image_fleet(0, 10, 0.5, rng)
+        with pytest.raises(ValueError):
+            shared_base_image_fleet(1, 10, 1.5, rng)

@@ -1,0 +1,74 @@
+"""Unit tests for incremental checkpoint maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.core.fingerprint import Fingerprint
+from repro.core.incremental import (
+    full_rewrite_seconds,
+    plan_checkpoint_update,
+    should_update_in_place,
+    update_cost_seconds,
+)
+from repro.storage.disk import HDD_HD204UI, SSD_INTEL330
+
+
+def fp(values):
+    return Fingerprint(hashes=np.asarray(values, dtype=np.uint64))
+
+
+class TestPlan:
+    def test_identical_states_nothing_to_write(self):
+        plan = plan_checkpoint_update(fp([1, 2, 3]), fp([1, 2, 3]))
+        assert plan.num_changed == 0
+        assert plan.write_bytes == 0
+        assert plan.unchanged_fraction == 1.0
+
+    def test_changed_slots_planned(self):
+        plan = plan_checkpoint_update(fp([1, 9, 3, 8]), fp([1, 2, 3, 4]))
+        assert list(plan.changed_slots) == [1, 3]
+        assert plan.write_bytes == 2 * 4096
+
+    def test_relocated_content_must_be_rewritten(self):
+        # Slot-addressed files: moved content rewrites both slots even
+        # though no new bytes exist.
+        plan = plan_checkpoint_update(fp([2, 1]), fp([1, 2]))
+        assert plan.num_changed == 2
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            plan_checkpoint_update(fp([1]), fp([1, 2]))
+
+
+class TestCosts:
+    def test_in_place_wins_on_ssd_for_small_updates(self):
+        current = fp(list(range(10000)))
+        stored_values = list(range(10000))
+        stored_values[0] = 999999
+        plan = plan_checkpoint_update(current, fp(stored_values))
+        assert should_update_in_place(plan, SSD_INTEL330)
+
+    def test_hdd_prefers_rewrite_when_most_pages_changed(self):
+        n = 10000
+        current = fp(list(range(n, 2 * n)))  # everything changed
+        plan = plan_checkpoint_update(current, fp(list(range(n))))
+        # 10k random writes at 75 IOPS ≫ one 40 MiB sequential write.
+        assert not should_update_in_place(plan, HDD_HD204UI)
+        assert update_cost_seconds(plan, HDD_HD204UI) > full_rewrite_seconds(
+            n, HDD_HD204UI
+        )
+
+    def test_hdd_crossover_exists(self):
+        # A high-similarity VM updates few pages: in-place wins even on
+        # the spinning disk.
+        n = 100000
+        stored = list(range(n))
+        current = list(range(n))
+        for slot in range(50):
+            current[slot] = n + slot
+        plan = plan_checkpoint_update(fp(current), fp(stored))
+        assert should_update_in_place(plan, HDD_HD204UI)
+
+    def test_negative_pages_rejected(self):
+        with pytest.raises(ValueError):
+            full_rewrite_seconds(-1, SSD_INTEL330)

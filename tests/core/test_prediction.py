@@ -1,0 +1,148 @@
+"""Unit tests for the similarity predictor and adaptive selector."""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import (
+    AdaptiveSelector,
+    SimilarityPredictor,
+)
+from repro.core.strategies import QEMU, VECYCLE
+from repro.net.link import LAN_1GBE, WAN_CLOUDNET
+
+GIB = 2**30
+HOUR = 3600.0
+
+
+def decaying_samples(floor=0.25, tau_h=6.0, ages_h=(0.5, 1, 2, 4, 8, 16, 24, 48)):
+    return [
+        (age * HOUR, floor + (1 - floor) * float(np.exp(-age / tau_h)))
+        for age in ages_h
+    ]
+
+
+class TestPredictor:
+    def test_defaults_before_observations(self):
+        predictor = SimilarityPredictor()
+        assert predictor.predict(0.0) == pytest.approx(1.0)
+        assert predictor.predict(1e9) == pytest.approx(predictor.default_floor, abs=0.01)
+
+    def test_fits_synthetic_decay(self):
+        predictor = SimilarityPredictor()
+        for age, similarity in decaying_samples():
+            predictor.observe(age, similarity)
+        assert predictor.floor == pytest.approx(0.25, abs=0.08)
+        assert predictor.tau_s == pytest.approx(6 * HOUR, rel=0.5)
+        # Interpolation at an unseen age.
+        assert predictor.predict(12 * HOUR) == pytest.approx(
+            0.25 + 0.75 * np.exp(-12 / 6.0), abs=0.08
+        )
+
+    def test_prediction_monotone_decreasing(self):
+        predictor = SimilarityPredictor()
+        for age, similarity in decaying_samples():
+            predictor.observe(age, similarity)
+        ages = np.linspace(0, 72 * HOUR, 20)
+        values = [predictor.predict(a) for a in ages]
+        assert values == sorted(values, reverse=True)
+
+    def test_sliding_window(self):
+        predictor = SimilarityPredictor(max_samples=4)
+        for age, similarity in decaying_samples():
+            predictor.observe(age, similarity)
+        assert predictor.num_samples == 4
+
+    def test_noisy_fit_still_reasonable(self):
+        rng = np.random.default_rng(0)
+        predictor = SimilarityPredictor()
+        for age, similarity in decaying_samples() * 3:
+            noisy = float(np.clip(similarity + rng.normal(0, 0.05), 0, 1))
+            predictor.observe(age, noisy)
+        assert 0.1 < predictor.predict(24 * HOUR) < 0.5
+
+    def test_invalid_observations(self):
+        predictor = SimilarityPredictor()
+        with pytest.raises(ValueError):
+            predictor.observe(-1, 0.5)
+        with pytest.raises(ValueError):
+            predictor.observe(1, 1.5)
+        with pytest.raises(ValueError):
+            predictor.predict(-1)
+        with pytest.raises(ValueError):
+            SimilarityPredictor(max_samples=0)
+
+
+class TestAdaptiveSelector:
+    def _trained(self):
+        predictor = SimilarityPredictor()
+        for age, similarity in decaying_samples():
+            predictor.observe(age, similarity)
+        return predictor
+
+    def test_fresh_checkpoint_recycled(self):
+        decision = AdaptiveSelector().decide(
+            self._trained(), checkpoint_age_s=HOUR, memory_bytes=4 * GIB,
+            link=WAN_CLOUDNET,
+        )
+        assert decision.strategy is VECYCLE
+        assert decision.use_checkpoint
+
+    def test_worthless_checkpoint_skipped_on_fast_link(self):
+        # A near-zero-floor VM with an ancient checkpoint on a fast
+        # LAN: checksum overhead outweighs the tiny predicted reuse.
+        predictor = SimilarityPredictor()
+        for age, similarity in decaying_samples(floor=0.01, tau_h=0.5):
+            predictor.observe(age, similarity)
+        decision = AdaptiveSelector().decide(
+            predictor, checkpoint_age_s=72 * HOUR, memory_bytes=4 * GIB,
+            link=LAN_1GBE,
+        )
+        assert decision.strategy is QEMU
+        assert decision.predicted_similarity < 0.1
+
+    def test_fast_link_never_recycles_with_md5(self):
+        # §3.4 as policy: on 10 GbE the MD5 floor alone exceeds the
+        # wire time of a full copy, so even a perfect checkpoint loses.
+        from repro.net.link import LAN_10GBE
+
+        predictor = self._trained()
+        decision = AdaptiveSelector().decide(
+            predictor, checkpoint_age_s=60.0, memory_bytes=4 * GIB,
+            link=LAN_10GBE,
+        )
+        assert not decision.use_checkpoint
+        assert decision.predicted_similarity > 0.8  # despite high reuse
+
+    def test_wan_recycles_marginal_checkpoint_lan_does_not(self):
+        # Moderate similarity: the LAN's checksum floor plus hysteresis
+        # tips the call differently than the slow WAN.
+        predictor = SimilarityPredictor()
+        for age, similarity in decaying_samples(floor=0.18, tau_h=2.0):
+            predictor.observe(age, similarity)
+        wan = AdaptiveSelector(hysteresis=1.2).decide(
+            predictor, 24 * HOUR, 4 * GIB, WAN_CLOUDNET
+        )
+        assert wan.predicted_similarity < 0.25
+        # ~20% similarity fails the 1.2x hysteresis bar everywhere...
+        assert not wan.use_checkpoint
+        # ...but clears a 1.05x bar on the WAN where announce cost is
+        # negligible relative to the transfer.
+        relaxed = AdaptiveSelector(hysteresis=1.05).decide(
+            predictor, 24 * HOUR, 4 * GIB, WAN_CLOUDNET
+        )
+        assert relaxed.use_checkpoint
+
+    def test_announce_known_lowers_predicted_time(self):
+        predictor = self._trained()
+        with_announce = AdaptiveSelector().decide(
+            predictor, HOUR, GIB, LAN_1GBE, announce_known=False
+        )
+        without = AdaptiveSelector().decide(
+            predictor, HOUR, GIB, LAN_1GBE, announce_known=True
+        )
+        assert without.predicted_recycle_s < with_announce.predicted_recycle_s
+        assert without.predicted_speedup > 1.0
+
+    def test_invalid_memory(self):
+        with pytest.raises(ValueError):
+            AdaptiveSelector().decide(self._trained(), HOUR, 0, LAN_1GBE)

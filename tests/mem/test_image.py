@@ -1,0 +1,153 @@
+"""Unit tests for repro.mem.image."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.checksum import PAGE_SIZE
+from repro.core.fingerprint import ZERO_HASH
+from repro.mem.image import MemoryImage
+
+
+class TestConstruction:
+    def test_zero_filled_by_default(self):
+        image = MemoryImage(16)
+        assert (image.slots == ZERO_HASH).all()
+
+    def test_non_zero_filled(self):
+        image = MemoryImage(16, zero_filled=False)
+        assert (image.slots != ZERO_HASH).all()
+
+    def test_from_bytes_size(self):
+        image = MemoryImage.from_bytes_size(8 * PAGE_SIZE)
+        assert image.num_pages == 8
+        assert image.size_bytes == 8 * PAGE_SIZE
+
+    def test_from_bytes_size_rejects_non_multiple(self):
+        with pytest.raises(ValueError):
+            MemoryImage.from_bytes_size(PAGE_SIZE + 1)
+
+    def test_rejects_zero_pages(self):
+        with pytest.raises(ValueError):
+            MemoryImage(0)
+
+    def test_slots_view_is_readonly(self):
+        image = MemoryImage(4)
+        with pytest.raises(ValueError):
+            image.slots[0] = 1
+
+
+class TestWrites:
+    def test_fresh_writes_are_globally_unique(self):
+        image = MemoryImage(64)
+        image.write_fresh(np.arange(64))
+        assert len(np.unique(image.slots)) == 64
+
+    def test_fresh_writes_never_reuse_ids_across_calls(self):
+        image = MemoryImage(8)
+        image.write_fresh(np.arange(8))
+        before = set(image.slots.tolist())
+        image.write_fresh(np.arange(8))
+        after = set(image.slots.tolist())
+        assert before.isdisjoint(after)
+
+    def test_write_duplicate_of(self):
+        image = MemoryImage(4, zero_filled=False)
+        image.write_duplicate_of(np.asarray([1, 2]), source_slot=0)
+        assert image.slots[1] == image.slots[0]
+        assert image.slots[2] == image.slots[0]
+
+    def test_write_content_explicit(self):
+        image = MemoryImage(4)
+        image.write_content(np.asarray([3]), np.uint64(77))
+        assert image.slots[3] == 77
+
+    def test_zero(self):
+        image = MemoryImage(4, zero_filled=False)
+        image.zero(np.asarray([0, 2]))
+        assert image.slots[0] == ZERO_HASH and image.slots[2] == ZERO_HASH
+        assert image.slots[1] != ZERO_HASH
+
+    def test_out_of_range_rejected(self):
+        image = MemoryImage(4)
+        with pytest.raises(IndexError):
+            image.write_fresh(np.asarray([4]))
+        with pytest.raises(IndexError):
+            image.write_fresh(np.asarray([-1]))
+
+
+class TestRelocate:
+    def test_relocate_preserves_content_multiset(self):
+        image = MemoryImage(32, zero_filled=False)
+        before = np.sort(image.slots.copy())
+        image.relocate(np.arange(32), np.random.default_rng(0))
+        assert (np.sort(image.slots) == before).all()
+
+    def test_relocate_single_slot_is_noop(self):
+        image = MemoryImage(4, zero_filled=False)
+        before = image.slots.copy()
+        image.relocate(np.asarray([2]), np.random.default_rng(0))
+        assert (image.slots == before).all()
+
+    @given(st.integers(min_value=2, max_value=64), st.integers(0, 1000))
+    @settings(max_examples=25)
+    def test_relocate_never_changes_unique_set(self, num_pages, seed):
+        image = MemoryImage(num_pages, zero_filled=False)
+        unique_before = set(np.unique(image.slots).tolist())
+        image.relocate(np.arange(num_pages), np.random.default_rng(seed))
+        assert set(np.unique(image.slots).tolist()) == unique_before
+
+
+class TestSnapshotRestore:
+    def test_fingerprint_is_snapshot(self):
+        image = MemoryImage(8, zero_filled=False)
+        fingerprint = image.fingerprint(timestamp=3.0)
+        image.write_fresh(np.arange(8))
+        # Snapshot unaffected by later writes.
+        assert fingerprint.timestamp == 3.0
+        assert (fingerprint.hashes != image.slots).all()
+
+    def test_restore(self):
+        image = MemoryImage(8, zero_filled=False)
+        fingerprint = image.fingerprint()
+        image.write_fresh(np.arange(8))
+        image.restore(fingerprint)
+        assert (image.slots == fingerprint.hashes).all()
+
+    def test_restore_size_mismatch_rejected(self):
+        image = MemoryImage(8)
+        other = MemoryImage(4).fingerprint()
+        with pytest.raises(ValueError):
+            image.restore(other)
+
+    def test_clone_shares_allocator_not_slots(self):
+        image = MemoryImage(4, zero_filled=False)
+        twin = image.clone()
+        image.write_fresh(np.asarray([0]))
+        twin.write_fresh(np.asarray([0]))
+        # Distinct ids even across clones (shared allocator).
+        assert image.slots[0] != twin.slots[0]
+        # And writes don't leak between them.
+        assert image.slots[1] == twin.slots[1]
+
+
+class TestSampling:
+    def test_sample_distinct(self):
+        image = MemoryImage(32)
+        picks = image.sample_slots(10, np.random.default_rng(0))
+        assert len(picks) == len(set(picks.tolist())) == 10
+
+    def test_sample_within_subset(self):
+        image = MemoryImage(32)
+        subset = np.asarray([1, 3, 5])
+        picks = image.sample_slots(2, np.random.default_rng(0), within=subset)
+        assert set(picks.tolist()) <= {1, 3, 5}
+
+    def test_sample_caps_at_pool_size(self):
+        image = MemoryImage(4)
+        picks = image.sample_slots(100, np.random.default_rng(0))
+        assert len(picks) == 4
+
+    def test_sample_zero_returns_empty(self):
+        image = MemoryImage(4)
+        assert image.sample_slots(0, np.random.default_rng(0)).size == 0

@@ -1,0 +1,124 @@
+"""Unit tests for repro.mem.mutation."""
+
+import numpy as np
+import pytest
+
+from repro.core.fingerprint import ZERO_HASH
+from repro.mem.image import MemoryImage
+from repro.mem.mutation import (
+    boot_populate,
+    churn,
+    fill_ramdisk,
+    update_region_fraction,
+)
+
+
+class TestFillRamdisk:
+    def test_fills_leading_fraction(self):
+        image = MemoryImage(100)
+        region = fill_ramdisk(image, fraction=0.9)
+        assert len(region) == 90
+        assert (image.slots[:90] != ZERO_HASH).all()
+        assert (image.slots[90:] == ZERO_HASH).all()
+
+    def test_content_is_unique_like_random_data(self):
+        image = MemoryImage(100)
+        region = fill_ramdisk(image, fraction=0.5)
+        assert len(np.unique(image.slots[region])) == len(region)
+
+    def test_invalid_fraction(self):
+        image = MemoryImage(10)
+        with pytest.raises(ValueError):
+            fill_ramdisk(image, fraction=0.0)
+        with pytest.raises(ValueError):
+            fill_ramdisk(image, fraction=1.5)
+
+
+class TestUpdateRegion:
+    def test_updates_exact_fraction(self, rng):
+        image = MemoryImage(200)
+        region = fill_ramdisk(image, fraction=1.0)
+        before = image.slots.copy()
+        updated = update_region_fraction(image, region, 0.25, rng)
+        assert len(updated) == 50
+        changed = np.nonzero(image.slots != before)[0]
+        assert set(changed.tolist()) == set(updated.tolist())
+
+    def test_zero_and_full_updates(self, rng):
+        image = MemoryImage(40)
+        region = fill_ramdisk(image, fraction=1.0)
+        assert len(update_region_fraction(image, region, 0.0, rng)) == 0
+        assert len(update_region_fraction(image, region, 1.0, rng)) == 40
+
+    def test_updates_stay_in_region(self, rng):
+        image = MemoryImage(100)
+        region = fill_ramdisk(image, fraction=0.5)
+        outside_before = image.slots[50:].copy()
+        update_region_fraction(image, region, 1.0, rng)
+        assert (image.slots[50:] == outside_before).all()
+
+    def test_invalid_fraction(self, rng):
+        image = MemoryImage(10)
+        with pytest.raises(ValueError):
+            update_region_fraction(image, np.arange(10), -0.1, rng)
+
+
+class TestChurn:
+    def test_fresh_writes_change_slots(self, rng):
+        image = MemoryImage(64, zero_filled=False)
+        before = image.slots.copy()
+        churn(image, rng, fresh_writes=16)
+        assert np.count_nonzero(image.slots != before) == 16
+
+    def test_duplicate_writes_increase_duplicates(self, rng):
+        image = MemoryImage(64, zero_filled=False)
+        churn(image, rng, duplicate_writes=20)
+        fingerprint = image.fingerprint()
+        assert fingerprint.duplicate_fraction() > 0
+
+    def test_zeroed_pages(self, rng):
+        image = MemoryImage(64, zero_filled=False)
+        churn(image, rng, zeroed=8)
+        assert image.fingerprint().zero_fraction() >= 8 / 64
+
+    def test_relocation_preserves_unique_set(self, rng):
+        image = MemoryImage(64, zero_filled=False)
+        before = set(np.unique(image.slots).tolist())
+        churn(image, rng, relocated=32)
+        assert set(np.unique(image.slots).tolist()) == before
+
+    def test_hot_slot_restriction(self, rng):
+        image = MemoryImage(64, zero_filled=False)
+        hot = np.arange(8)
+        before = image.slots.copy()
+        churn(image, rng, fresh_writes=8, hot_slots=hot)
+        changed = np.nonzero(image.slots != before)[0]
+        assert set(changed.tolist()) <= set(hot.tolist())
+
+
+class TestBootPopulate:
+    def test_fractions_roughly_met(self, rng):
+        image = MemoryImage(2000)
+        boot_populate(
+            image, rng, used_fraction=0.9, duplicate_fraction=0.1, zero_fraction=0.05
+        )
+        fingerprint = image.fingerprint()
+        # Unused slots stay zero, so the zero fraction is 1 - used.
+        assert fingerprint.zero_fraction() == pytest.approx(0.10, abs=0.03)
+        # Zero pages are themselves duplicates (Figure 4's point), so
+        # the duplicate fraction ≈ zero fraction + requested duplicates.
+        assert fingerprint.duplicate_fraction() == pytest.approx(0.20, abs=0.06)
+
+    def test_invalid_used_fraction(self, rng):
+        with pytest.raises(ValueError):
+            boot_populate(
+                MemoryImage(10), rng, used_fraction=0.0,
+                duplicate_fraction=0.1, zero_fraction=0.05,
+            )
+
+    def test_full_usage_allowed(self, rng):
+        image = MemoryImage(100)
+        boot_populate(
+            image, rng, used_fraction=1.0, duplicate_fraction=0.0, zero_fraction=0.0
+        )
+        assert image.fingerprint().zero_fraction() == 0.0

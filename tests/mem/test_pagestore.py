@@ -1,0 +1,53 @@
+"""Unit tests for repro.mem.pagestore."""
+
+import numpy as np
+import pytest
+
+from repro.core.checksum import PAGE_SIZE
+from repro.mem.pagestore import PageStore
+
+
+class TestPageBytes:
+    def test_page_size(self):
+        store = PageStore()
+        assert len(store.page_bytes(1)) == PAGE_SIZE
+
+    def test_deterministic(self):
+        assert PageStore().page_bytes(42) == PageStore().page_bytes(42)
+
+    def test_distinct_ids_distinct_pages(self):
+        store = PageStore()
+        assert store.page_bytes(1) != store.page_bytes(2)
+
+    def test_zero_id_is_zero_page(self):
+        assert PageStore().page_bytes(0) == bytes(PAGE_SIZE)
+
+    def test_custom_page_size(self):
+        store = PageStore(page_size=128)
+        assert len(store.page_bytes(5)) == 128
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            PageStore(page_size=0)
+
+    def test_cache_bounded(self):
+        store = PageStore(cache_limit=4)
+        for content_id in range(20):
+            store.page_bytes(content_id + 1)
+        assert len(store._cache) <= 4
+
+    def test_cached_value_reused(self):
+        store = PageStore()
+        first = store.page_bytes(9)
+        assert store.page_bytes(9) is first
+
+
+class TestMaterialize:
+    def test_materialize_concatenates(self):
+        store = PageStore(page_size=64)
+        slots = np.asarray([1, 0, 2], dtype=np.uint64)
+        blob = store.materialize(slots)
+        assert len(blob) == 3 * 64
+        assert blob[:64] == store.page_bytes(1)
+        assert blob[64:128] == bytes(64)
+        assert blob[128:] == store.page_bytes(2)

@@ -1,0 +1,84 @@
+"""Compression and multi-core checksumming inside the pre-copy simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import Checkpoint
+from repro.core.compression import LZO_FAST, NO_COMPRESSION
+from repro.core.strategies import QEMU, VECYCLE
+from repro.migration.precopy import PrecopyConfig, simulate_migration
+from repro.migration.vm import SimVM
+from repro.net.link import LAN_10GBE, WAN_CLOUDNET
+
+MIB = 2**20
+
+
+def make_vm(seed=1):
+    vm = SimVM.idle("vm", 128 * MIB, seed=seed)
+    vm.image.write_fresh(np.arange(vm.num_pages))
+    return vm
+
+
+class TestCompression:
+    def test_compression_halves_wan_traffic(self):
+        plain = simulate_migration(make_vm(), QEMU, WAN_CLOUDNET)
+        squeezed = simulate_migration(
+            make_vm(), QEMU, WAN_CLOUDNET,
+            config=PrecopyConfig(compression=LZO_FAST),
+        )
+        assert squeezed.tx_bytes == pytest.approx(plain.tx_bytes / 2, rel=0.05)
+        assert squeezed.total_time_s < plain.total_time_s
+
+    def test_compression_composes_with_vecycle(self):
+        # Related work §5: compression "can be combined with VeCycle".
+        plain = simulate_migration(
+            make_vm_with_updates(), VECYCLE, WAN_CLOUDNET, checkpoint=ckpt_of()
+        )
+        squeezed = simulate_migration(
+            make_vm_with_updates(), VECYCLE, WAN_CLOUDNET, checkpoint=ckpt_of(),
+            config=PrecopyConfig(compression=LZO_FAST),
+        )
+        assert squeezed.tx_bytes < plain.tx_bytes
+
+    def test_no_compression_is_default_and_neutral(self):
+        default = simulate_migration(make_vm(), QEMU, WAN_CLOUDNET)
+        explicit = simulate_migration(
+            make_vm(), QEMU, WAN_CLOUDNET,
+            config=PrecopyConfig(compression=NO_COMPRESSION),
+        )
+        assert default.tx_bytes == explicit.tx_bytes
+        assert default.total_time_s == explicit.total_time_s
+
+
+def make_vm_with_updates(seed=1):
+    vm = make_vm(seed)
+    vm.write_slots(np.arange(2048))
+    return vm
+
+
+def ckpt_of(seed=1):
+    vm = make_vm(seed)
+    return Checkpoint(vm_id="vm", fingerprint=vm.fingerprint())
+
+
+class TestMultiCoreChecksums:
+    def test_more_cores_faster_on_fast_link(self):
+        # §3.4: multi-threaded execution lifts the checksum-rate bound.
+        def run(cores):
+            vm = make_vm()
+            ckpt = Checkpoint(vm_id="vm", fingerprint=vm.fingerprint())
+            return simulate_migration(
+                vm, VECYCLE, LAN_10GBE, checkpoint=ckpt,
+                config=PrecopyConfig(checksum_cores=cores, announce_known=True),
+            )
+
+        single = run(1)
+        quad = run(4)
+        assert quad.total_time_s < single.total_time_s
+        assert quad.tx_bytes == single.tx_bytes  # bytes unchanged
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            PrecopyConfig(checksum_cores=0)
+        with pytest.raises(ValueError):
+            PrecopyConfig(max_rounds=0)

@@ -1,0 +1,112 @@
+"""Tests for host-aware orchestration (engine + ping-pong)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.host import Host
+from repro.core.strategies import QEMU, VECYCLE
+from repro.migration.engine import migrate_between_hosts, ping_pong
+from repro.migration.vm import SimVM
+
+from repro.net.link import LAN_1GBE
+
+MIB = 2**20
+
+
+@pytest.fixture
+def hosts():
+    return Host(name="a"), Host(name="b")
+
+
+def make_vm(seed=3):
+    vm = SimVM("vm0", 16 * MIB, dirty_rate_pages_per_s=5, seed=seed)
+    vm.image.write_fresh(np.arange(vm.num_pages))
+    return vm
+
+
+class TestMigrateBetweenHosts:
+    def test_first_visit_full_transfer(self, hosts):
+        a, b = hosts
+        vm = make_vm()
+        report = migrate_between_hosts(vm, a, b, VECYCLE, LAN_1GBE)
+        assert report.pages_full == vm.num_pages
+
+    def test_source_stores_checkpoint(self, hosts):
+        a, b = hosts
+        vm = make_vm()
+        migrate_between_hosts(vm, a, b, VECYCLE, LAN_1GBE)
+        stored = a.checkpoint_for("vm0")
+        assert stored is not None
+        assert stored.generation_vector is not None
+
+    def test_return_migration_reuses_checkpoint(self, hosts):
+        a, b = hosts
+        vm = make_vm()
+        migrate_between_hosts(vm, a, b, VECYCLE, LAN_1GBE)
+        back = migrate_between_hosts(vm, b, a, VECYCLE, LAN_1GBE)
+        assert back.pages_checksum_only > 0.9 * vm.num_pages
+        assert back.tx_bytes < vm.memory_bytes / 10
+
+    def test_ping_pong_shortcut_skips_announce(self, hosts):
+        a, b = hosts
+        vm = make_vm()
+        migrate_between_hosts(vm, a, b, VECYCLE, LAN_1GBE)
+        back = migrate_between_hosts(vm, b, a, VECYCLE, LAN_1GBE)
+        # b learned a's hashes while receiving, so no announce needed.
+        assert back.announce_bytes == 0
+
+    def test_same_host_rejected(self, hosts):
+        a, _ = hosts
+        with pytest.raises(ValueError):
+            migrate_between_hosts(make_vm(), a, a, VECYCLE, LAN_1GBE)
+
+    def test_qemu_migration_still_stores_checkpoint(self, hosts):
+        # Checkpoints are written regardless of the strategy in use so a
+        # later VeCycle migration can benefit.
+        a, b = hosts
+        migrate_between_hosts(make_vm(), a, b, QEMU, LAN_1GBE)
+        assert a.checkpoint_for("vm0") is not None
+
+
+class TestPingPong:
+    def test_round_trip_count(self, hosts):
+        a, b = hosts
+        reports = ping_pong(make_vm(), a, b, VECYCLE, LAN_1GBE, round_trips=2)
+        assert len(reports) == 4
+
+    def test_later_migrations_cheaper_than_first(self, hosts):
+        a, b = hosts
+        reports = ping_pong(make_vm(), a, b, VECYCLE, LAN_1GBE, round_trips=2)
+        first = reports[0]
+        for later in reports[1:]:
+            assert later.tx_bytes < first.tx_bytes / 5
+
+    def test_between_migrations_hook(self, hosts):
+        a, b = hosts
+        seen = []
+
+        def hook(vm, index):
+            seen.append(index)
+            vm.write_slots(np.arange(8))
+
+        reports = ping_pong(
+            make_vm(), a, b, VECYCLE, LAN_1GBE, round_trips=1, between_migrations=hook
+        )
+        assert seen == [0, 1]
+        # The 8 updated pages (plus in-flight dirtying) must be re-sent.
+        assert reports[1].pages_full >= 8
+
+    def test_invalid_round_trips(self, hosts):
+        a, b = hosts
+        with pytest.raises(ValueError):
+            ping_pong(make_vm(), a, b, VECYCLE, LAN_1GBE, round_trips=0)
+
+
+class TestHostBookkeeping:
+    def test_learn_and_forget(self):
+        host = Host(name="x")
+        host.learn_peer_hashes("vm1", "y")
+        assert host.knows_peer_hashes("vm1", "y")
+        assert not host.knows_peer_hashes("vm1", "z")
+        host.forget_peer("y")
+        assert not host.knows_peer_hashes("vm1", "y")

@@ -1,0 +1,32 @@
+"""Unit tests for migration reports."""
+
+from repro.migration.report import MigrationReport, RoundStats
+
+
+class TestMigrationReport:
+    def _report(self):
+        report = MigrationReport(
+            strategy="vecycle", vm_id="vm", memory_bytes=1 << 30, link="lan-1gbe"
+        )
+        report.tx_bytes = 1 << 20
+        report.announce_bytes = 1 << 10
+        report.rounds = [
+            RoundStats(1, 100, 5, 1 << 19, 0.5, 10),
+            RoundStats(2, 10, 0, 1 << 19, 0.05, 0),
+        ]
+        return report
+
+    def test_total_bytes_includes_announce(self):
+        report = self._report()
+        assert report.total_bytes == (1 << 20) + (1 << 10)
+
+    def test_num_rounds(self):
+        assert self._report().num_rounds == 2
+
+    def test_tx_gib(self):
+        assert self._report().tx_gib == (1 << 20) / (1 << 30)
+
+    def test_summary_mentions_strategy_and_link(self):
+        summary = self._report().summary()
+        assert "vecycle" in summary
+        assert "lan-1gbe" in summary

@@ -1,0 +1,106 @@
+"""Checkpoint reuse across VM memory resizes."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import Checkpoint
+from repro.core.fingerprint import Fingerprint, ZERO_HASH, resize_fingerprint
+from repro.core.strategies import VECYCLE
+from repro.migration.precopy import PrecopyConfig, simulate_migration
+from repro.migration.vm import SimVM
+from repro.net.link import LAN_1GBE
+
+MIB = 2**20
+
+
+class TestResizeFingerprint:
+    def test_same_size_returns_same_object(self):
+        fingerprint = Fingerprint(hashes=np.arange(4, dtype=np.uint64))
+        assert resize_fingerprint(fingerprint, 4) is fingerprint
+
+    def test_grow_pads_with_zero_pages(self):
+        fingerprint = Fingerprint(hashes=np.asarray([5, 6], dtype=np.uint64))
+        grown = resize_fingerprint(fingerprint, 4)
+        assert grown.num_pages == 4
+        assert list(grown.hashes) == [5, 6, int(ZERO_HASH), int(ZERO_HASH)]
+
+    def test_shrink_truncates(self):
+        fingerprint = Fingerprint(hashes=np.asarray([5, 6, 7], dtype=np.uint64))
+        shrunk = resize_fingerprint(fingerprint, 2)
+        assert list(shrunk.hashes) == [5, 6]
+
+    def test_original_unmodified(self):
+        fingerprint = Fingerprint(hashes=np.asarray([5, 6], dtype=np.uint64))
+        resize_fingerprint(fingerprint, 8)
+        assert fingerprint.num_pages == 2
+
+    def test_timestamp_preserved(self):
+        fingerprint = Fingerprint(
+            hashes=np.asarray([1], dtype=np.uint64), timestamp=42.0
+        )
+        assert resize_fingerprint(fingerprint, 3).timestamp == 42.0
+
+    def test_invalid_size(self):
+        fingerprint = Fingerprint(hashes=np.asarray([1], dtype=np.uint64))
+        with pytest.raises(ValueError):
+            resize_fingerprint(fingerprint, 0)
+
+
+class TestResizedMigration:
+    def _small_vm_checkpoint(self):
+        """Checkpoint of the VM when it had 8 MiB of RAM."""
+        old = SimVM.idle("vm", 8 * MIB, seed=1)
+        old.image.write_fresh(np.arange(old.num_pages))
+        return old, Checkpoint(vm_id="vm", fingerprint=old.fingerprint())
+
+    def test_rejected_by_default(self):
+        old, checkpoint = self._small_vm_checkpoint()
+        grown = SimVM.idle("vm", 16 * MIB, seed=1)
+        with pytest.raises(ValueError, match="allow_resized_checkpoint"):
+            simulate_migration(grown, VECYCLE, LAN_1GBE, checkpoint=checkpoint)
+
+    def test_grown_vm_reuses_old_content(self):
+        old, checkpoint = self._small_vm_checkpoint()
+        grown = SimVM.idle("vm", 16 * MIB, seed=1)
+        # The grown VM keeps the old content in its first half; the new
+        # half is zero (ballooned-in memory).
+        grown.image.restore(
+            resize_fingerprint(old.fingerprint(), grown.num_pages)
+        )
+        report = simulate_migration(
+            grown, VECYCLE, LAN_1GBE, checkpoint=checkpoint,
+            config=PrecopyConfig(allow_resized_checkpoint=True),
+        )
+        # Old content reused; the zero half matches the padded zeros.
+        assert report.pages_full == 0
+        assert report.pages_checksum_only == grown.num_pages
+
+    def test_shrunk_vm_reuses_surviving_content(self):
+        big = SimVM.idle("vm", 16 * MIB, seed=2)
+        big.image.write_fresh(np.arange(big.num_pages))
+        checkpoint = Checkpoint(vm_id="vm", fingerprint=big.fingerprint())
+        small = SimVM.idle("vm", 8 * MIB, seed=2)
+        small.image.restore(
+            resize_fingerprint(big.fingerprint(), small.num_pages)
+        )
+        report = simulate_migration(
+            small, VECYCLE, LAN_1GBE, checkpoint=checkpoint,
+            config=PrecopyConfig(allow_resized_checkpoint=True),
+        )
+        assert report.pages_full == 0
+
+    def test_partial_overlap_after_resize(self):
+        old, checkpoint = self._small_vm_checkpoint()
+        grown = SimVM.idle("vm", 16 * MIB, seed=3)
+        grown.image.restore(
+            resize_fingerprint(old.fingerprint(), grown.num_pages)
+        )
+        # New workload fills half of the new region with fresh data.
+        fresh = np.arange(old.num_pages, old.num_pages + 1024)
+        grown.write_slots(fresh)
+        report = simulate_migration(
+            grown, VECYCLE, LAN_1GBE, checkpoint=checkpoint,
+            config=PrecopyConfig(allow_resized_checkpoint=True),
+        )
+        assert report.pages_full == 1024
+        assert report.pages_checksum_only == grown.num_pages - 1024

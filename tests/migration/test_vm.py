@@ -1,0 +1,95 @@
+"""Unit tests for repro.migration.vm."""
+
+import numpy as np
+import pytest
+
+from repro.migration.vm import SimVM, expected_distinct
+
+MIB = 2**20
+
+
+class TestExpectedDistinct:
+    def test_zero_writes(self):
+        assert expected_distinct(0, 100) == 0
+
+    def test_zero_pool(self):
+        assert expected_distinct(10, 0) == 0
+
+    def test_few_writes_mostly_distinct(self):
+        assert expected_distinct(10, 100000) == 10
+
+    def test_many_writes_saturate_pool(self):
+        assert expected_distinct(10**6, 100) == 100
+
+    def test_monotone_in_writes(self):
+        values = [expected_distinct(w, 1000) for w in (10, 100, 1000, 10000)]
+        assert values == sorted(values)
+        assert all(v <= 1000 for v in values)
+
+
+class TestSimVM:
+    def test_construction(self):
+        vm = SimVM("vm", 4 * MIB, seed=1)
+        assert vm.num_pages == 1024
+        assert vm.memory_bytes == 4 * MIB
+
+    def test_idle_vm_never_dirties(self):
+        vm = SimVM.idle("vm", 4 * MIB)
+        assert vm.run_for(3600).size == 0
+        assert vm.clock_s == 3600
+
+    def test_active_vm_dirties_in_working_set(self):
+        vm = SimVM("vm", 4 * MIB, dirty_rate_pages_per_s=100,
+                   working_set_fraction=0.1, seed=2)
+        dirtied = vm.run_for(1.0)
+        assert dirtied.size > 0
+        assert set(dirtied.tolist()) <= set(vm.working_set.tolist())
+
+    def test_dirty_slots_tracked_in_generations(self):
+        vm = SimVM("vm", 4 * MIB, dirty_rate_pages_per_s=50, seed=3)
+        snapshot = vm.tracker.snapshot()
+        dirtied = vm.run_for(2.0)
+        assert set(vm.tracker.dirty_since(snapshot).tolist()) == set(
+            np.unique(dirtied).tolist()
+        )
+
+    def test_write_slots_changes_content(self):
+        vm = SimVM.idle("vm", 4 * MIB)
+        before = vm.fingerprint()
+        vm.write_slots(np.asarray([0, 5]))
+        after = vm.fingerprint()
+        assert list(after.dirty_slots(since=before)) == [0, 5]
+
+    def test_write_empty_slots_noop(self):
+        vm = SimVM.idle("vm", 4 * MIB)
+        snapshot = vm.tracker.snapshot()
+        vm.write_slots(np.asarray([], dtype=np.int64))
+        assert vm.tracker.dirty_since(snapshot).size == 0
+
+    def test_fingerprint_carries_clock(self):
+        vm = SimVM.idle("vm", 4 * MIB)
+        vm.run_for(120.0)
+        assert vm.fingerprint().timestamp == 120.0
+
+    def test_negative_time_rejected(self):
+        vm = SimVM.idle("vm", 4 * MIB)
+        with pytest.raises(ValueError):
+            vm.run_for(-1)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            SimVM("vm", 4 * MIB, dirty_rate_pages_per_s=-1)
+        with pytest.raises(ValueError):
+            SimVM("vm", 4 * MIB, working_set_fraction=0.0)
+
+    def test_from_image_wraps_existing_memory(self, small_image):
+        vm = SimVM.from_image("vm", small_image)
+        assert vm.image is small_image
+        assert vm.num_pages == small_image.num_pages
+
+    def test_determinism(self):
+        runs = []
+        for _ in range(2):
+            vm = SimVM("vm", 4 * MIB, dirty_rate_pages_per_s=100, seed=9)
+            runs.append(np.sort(vm.run_for(1.0)))
+        assert (runs[0] == runs[1]).all()

@@ -1,0 +1,95 @@
+"""Tests for combined memory + storage migration."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import Checkpoint
+from repro.core.strategies import QEMU, VECYCLE
+from repro.migration.vm import SimVM
+from repro.migration.wholevm import migrate_whole_vm
+from repro.net.link import WAN_CLOUDNET
+from repro.storage.blocksync import DiskImage
+
+MIB = 2**20
+
+
+def make_vm(seed=1):
+    vm = SimVM.idle("vm", 64 * MIB, seed=seed)
+    vm.image.write_fresh(np.arange(vm.num_pages))
+    return vm
+
+
+def make_disk(num_blocks=256, seed=2):
+    disk = DiskImage(num_blocks)
+    disk.write(np.arange(num_blocks))
+    return disk
+
+
+class TestWholeVmMigration:
+    def test_cold_move_transfers_everything(self):
+        vm, disk = make_vm(), make_disk()
+        report = migrate_whole_vm(vm, disk, QEMU, WAN_CLOUDNET)
+        assert report.bulk_sync.blocks_full == disk.num_blocks
+        assert report.memory.pages_full == vm.num_pages
+        assert report.tx_bytes > vm.memory_bytes + disk.size_bytes * 0.9
+
+    def test_replica_and_checkpoint_compound(self):
+        from repro.storage.disk import SSD_INTEL330
+
+        vm, disk = make_vm(), make_disk()
+        checkpoint = Checkpoint(vm_id=vm.vm_id, fingerprint=vm.fingerprint())
+        replica = disk.snapshot()
+        warm = migrate_whole_vm(
+            vm, disk, VECYCLE, WAN_CLOUDNET,
+            checkpoint=checkpoint, destination_replica=replica,
+            source_disk=SSD_INTEL330, destination_disk=SSD_INTEL330,
+        )
+        cold_vm, cold_disk = make_vm(), make_disk()
+        cold = migrate_whole_vm(
+            cold_vm, cold_disk, QEMU, WAN_CLOUDNET,
+            source_disk=SSD_INTEL330, destination_disk=SSD_INTEL330,
+        )
+        assert warm.tx_bytes < cold.tx_bytes / 10
+        assert warm.total_time_s < cold.total_time_s / 5
+        assert warm.bulk_sync.blocks_reused == disk.num_blocks
+
+    def test_in_flight_disk_writes_land_in_delta(self):
+        vm, disk = make_vm(), make_disk()
+        replica = disk.snapshot()
+        report = migrate_whole_vm(
+            vm, disk, VECYCLE, WAN_CLOUDNET,
+            checkpoint=Checkpoint(vm_id=vm.vm_id, fingerprint=vm.fingerprint()),
+            destination_replica=replica,
+            disk_write_blocks_per_s=3.0,
+        )
+        assert report.final_delta.blocks_full > 0
+        assert report.downtime_s > report.memory.downtime_s
+
+    def test_quiet_disk_empty_delta(self):
+        vm, disk = make_vm(), make_disk()
+        report = migrate_whole_vm(
+            vm, disk, VECYCLE, WAN_CLOUDNET,
+            destination_replica=disk.snapshot(),
+            disk_write_blocks_per_s=0.0,
+        )
+        assert report.final_delta.blocks_full == 0
+
+    def test_downtime_composition(self):
+        vm, disk = make_vm(), make_disk()
+        report = migrate_whole_vm(vm, disk, QEMU, WAN_CLOUDNET)
+        assert report.downtime_s == pytest.approx(
+            report.memory.downtime_s + report.final_delta_s
+        )
+        assert report.total_time_s >= report.memory.total_time_s
+
+    def test_invalid_write_rate(self):
+        with pytest.raises(ValueError):
+            migrate_whole_vm(
+                make_vm(), make_disk(), QEMU, WAN_CLOUDNET,
+                disk_write_blocks_per_s=-1,
+            )
+
+    def test_summary(self):
+        vm, disk = make_vm(), make_disk()
+        report = migrate_whole_vm(vm, disk, QEMU, WAN_CLOUDNET)
+        assert "whole-vm[qemu]" in report.summary()

@@ -1,0 +1,84 @@
+"""Unit tests for repro.net.link."""
+
+import pytest
+
+from repro.net.link import (
+    LAN_1GBE,
+    LAN_10GBE,
+    LAN_40GBE,
+    WAN_CLOUDNET,
+    Link,
+    get_link,
+)
+
+MIB = 2**20
+GIB = 2**30
+
+
+class TestPresets:
+    def test_lan_effective_bandwidth_near_paper(self):
+        # §4.4: ~120 MiB/s payload on gigabit, 1 GiB in ~10 s.
+        assert 100 * MIB < LAN_1GBE.effective_bandwidth < 125 * MIB
+        assert LAN_1GBE.transfer_time(GIB) == pytest.approx(9.1, abs=1.5)
+
+    def test_wan_matches_paper_observation(self):
+        # §4.4: a 1 GiB migration took 177 s on the emulated WAN.
+        assert WAN_CLOUDNET.transfer_time(GIB) == pytest.approx(177, rel=0.1)
+
+    def test_wan_is_window_limited_not_bandwidth_limited(self):
+        nominal = WAN_CLOUDNET.bandwidth_bps / 8 * WAN_CLOUDNET.efficiency
+        assert WAN_CLOUDNET.effective_bandwidth < nominal / 5
+
+    def test_faster_links_ordered(self):
+        assert (
+            LAN_1GBE.effective_bandwidth
+            < LAN_10GBE.effective_bandwidth
+            < LAN_40GBE.effective_bandwidth
+        )
+
+    def test_get_link(self):
+        assert get_link("wan-cloudnet") is WAN_CLOUDNET
+        with pytest.raises(KeyError):
+            get_link("carrier-pigeon")
+
+
+class TestTransferTime:
+    def test_zero_bytes_pays_handshake(self):
+        assert LAN_1GBE.transfer_time(0) == pytest.approx(LAN_1GBE.rtt_s)
+
+    def test_monotone_in_bytes(self):
+        assert LAN_1GBE.transfer_time(2 * GIB) > LAN_1GBE.transfer_time(GIB)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            LAN_1GBE.transfer_time(-1)
+
+    def test_request_response_pays_round_trip(self):
+        t = WAN_CLOUDNET.request_response_time(16, 1)
+        assert t >= WAN_CLOUDNET.rtt_s
+
+    def test_per_page_queries_lose_on_wan(self):
+        # §3.2's rejected alternative: one synchronous round trip per
+        # page is catastrophic at 27 ms latency.
+        pages = 1 << 10
+        per_page = pages * WAN_CLOUDNET.request_response_time(25, 1)
+        bulk = WAN_CLOUDNET.transfer_time(pages * 16)
+        assert per_page > 20 * bulk
+
+
+class TestValidation:
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            Link(name="x", bandwidth_bps=0)
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            Link(name="x", bandwidth_bps=1e9, latency_s=-1)
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(ValueError):
+            Link(name="x", bandwidth_bps=1e9, efficiency=0.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            Link(name="x", bandwidth_bps=1e9, tcp_window_bytes=0)

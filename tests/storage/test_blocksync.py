@@ -1,0 +1,161 @@
+"""Unit tests for disk-image synchronization."""
+
+import numpy as np
+import pytest
+
+from repro.net.link import LAN_1GBE, WAN_CLOUDNET
+from repro.storage.blocksync import (
+    BLOCK_SIZE,
+    DiskImage,
+    DiskSyncPlan,
+    disk_sync_seconds,
+    plan_disk_sync,
+)
+from repro.storage.disk import HDD_HD204UI, SSD_INTEL330
+
+
+class TestDiskImage:
+    def test_construction(self):
+        image = DiskImage(100)
+        assert image.num_blocks == 100
+        assert image.size_bytes == 100 * BLOCK_SIZE
+        assert (image.blocks == 0).all()
+
+    def test_writes_allocate_fresh_content(self):
+        image = DiskImage(10)
+        image.write(np.asarray([0, 1]))
+        assert image.blocks[0] != image.blocks[1]
+        assert image.blocks[0] != 0
+
+    def test_dirty_tracking(self):
+        image = DiskImage(10)
+        image.write(np.asarray([3, 7]))
+        assert list(image.dirty_blocks()) == [3, 7]
+        image.clear_dirty()
+        assert image.dirty_blocks().size == 0
+        image.write_content(5, 42)
+        assert list(image.dirty_blocks()) == [5]
+
+    def test_snapshot_is_copy(self):
+        image = DiskImage(4)
+        snap = image.snapshot()
+        image.write(np.asarray([0]))
+        assert snap[0] == 0
+
+    def test_bounds(self):
+        image = DiskImage(4)
+        with pytest.raises(IndexError):
+            image.write(np.asarray([4]))
+        with pytest.raises(IndexError):
+            image.write_content(-1, 1)
+        with pytest.raises(ValueError):
+            DiskImage(0)
+        with pytest.raises(ValueError):
+            DiskImage(4, block_size=0)
+
+    def test_blocks_readonly(self):
+        image = DiskImage(4)
+        with pytest.raises(ValueError):
+            image.blocks[0] = 1
+
+
+class TestPlanDiskSync:
+    def test_cold_copy_sends_everything(self):
+        image = DiskImage(16)
+        image.write(np.arange(16))
+        plan = plan_disk_sync(image.blocks)
+        assert plan.blocks_full == 16
+        assert plan.fraction_of_full == 1.0
+        assert plan.transfer_bytes == 16 * BLOCK_SIZE
+
+    def test_identical_replica_free(self):
+        image = DiskImage(16)
+        image.write(np.arange(16))
+        plan = plan_disk_sync(image.blocks, destination_replica=image.snapshot())
+        assert plan.blocks_full == 0
+        assert plan.blocks_reused == 16
+
+    def test_dirty_tracking_skips_clean(self):
+        image = DiskImage(16)
+        image.write(np.arange(16))
+        replica = image.snapshot()
+        image.clear_dirty()
+        image.write(np.asarray([2, 9]))
+        plan = plan_disk_sync(
+            image.blocks,
+            destination_replica=replica,
+            dirty_blocks=image.dirty_blocks(),
+        )
+        assert plan.blocks_skipped == 14
+        assert plan.blocks_full == 2
+
+    def test_content_reuse_of_relocated_blocks(self):
+        # Block content copied to another block (e.g. file copied):
+        # dirty, but the replica already holds the bytes.
+        image = DiskImage(8)
+        image.write(np.arange(8))
+        replica = image.snapshot()
+        image.clear_dirty()
+        image.write_content(0, int(replica[5]))
+        plan = plan_disk_sync(
+            image.blocks,
+            destination_replica=replica,
+            dirty_blocks=image.dirty_blocks(),
+        )
+        assert plan.blocks_full == 0
+        assert plan.blocks_reused == 1
+
+    def test_stale_replica_still_reuses_common_blocks(self):
+        image = DiskImage(100)
+        image.write(np.arange(100))
+        replica = image.snapshot()
+        image.clear_dirty()
+        image.write(np.arange(30))  # 30 blocks changed since the replica
+        plan = plan_disk_sync(image.blocks, destination_replica=replica)
+        assert plan.blocks_full == 30
+        assert plan.blocks_reused == 70
+
+    def test_replica_size_mismatch(self):
+        with pytest.raises(ValueError):
+            plan_disk_sync(
+                np.zeros(4, dtype=np.uint64),
+                destination_replica=np.zeros(5, dtype=np.uint64),
+            )
+
+    def test_partition_validated(self):
+        with pytest.raises(ValueError):
+            DiskSyncPlan(
+                blocks_full=2, blocks_reused=2, blocks_skipped=2,
+                num_blocks=5, block_size=BLOCK_SIZE,
+            )
+
+
+class TestSyncCost:
+    def _plan(self, full, reused=0, skipped=0):
+        return DiskSyncPlan(
+            blocks_full=full, blocks_reused=reused, blocks_skipped=skipped,
+            num_blocks=full + reused + skipped, block_size=BLOCK_SIZE,
+        )
+
+    def test_wire_bound_on_wan(self):
+        plan = self._plan(full=1000)
+        time = disk_sync_seconds(plan, WAN_CLOUDNET, SSD_INTEL330, SSD_INTEL330)
+        assert time == pytest.approx(
+            WAN_CLOUDNET.transfer_time(plan.transfer_bytes), rel=0.01
+        )
+
+    def test_reuse_shrinks_time(self):
+        cold = self._plan(full=1000)
+        warm = self._plan(full=100, reused=900)
+        assert disk_sync_seconds(warm, LAN_1GBE, SSD_INTEL330, SSD_INTEL330) < (
+            disk_sync_seconds(cold, LAN_1GBE, SSD_INTEL330, SSD_INTEL330)
+        )
+
+    def test_hdd_local_copies_can_dominate(self):
+        # Thousands of random 64 KiB local copies on the 75-IOPS HDD
+        # can exceed the wire time — the disk analog of the
+        # relocated-page effect in test_ablation_disks.
+        plan = self._plan(full=10, reused=5000)
+        hdd_time = disk_sync_seconds(plan, LAN_1GBE, HDD_HD204UI, HDD_HD204UI)
+        ssd_time = disk_sync_seconds(plan, LAN_1GBE, SSD_INTEL330, SSD_INTEL330)
+        assert hdd_time > 5 * ssd_time

@@ -1,0 +1,74 @@
+"""Unit tests for repro.storage.disk."""
+
+import pytest
+
+from repro.core.checksum import PAGE_SIZE
+from repro.storage.disk import HDD_HD204UI, SSD_INTEL330, TMPFS, Disk, get_disk
+
+GIB = 2**30
+
+
+class TestPresets:
+    def test_registry(self):
+        assert get_disk("hdd-hd204ui") is HDD_HD204UI
+        assert get_disk("ssd-intel330") is SSD_INTEL330
+        with pytest.raises(KeyError):
+            get_disk("floppy")
+
+    def test_ssd_faster_than_hdd(self):
+        checkpoint = 4 * GIB
+        assert SSD_INTEL330.sequential_read_time(checkpoint) < (
+            HDD_HD204UI.sequential_read_time(checkpoint)
+        )
+        assert SSD_INTEL330.random_read_time(1000) < HDD_HD204UI.random_read_time(1000)
+
+    def test_tmpfs_fastest(self):
+        assert TMPFS.sequential_read_time(GIB) < SSD_INTEL330.sequential_read_time(GIB)
+
+
+class TestCostModel:
+    def test_sequential_times_linear(self):
+        assert HDD_HD204UI.sequential_read_time(2 * GIB) == pytest.approx(
+            2 * HDD_HD204UI.sequential_read_time(GIB)
+        )
+        assert HDD_HD204UI.sequential_write_time(GIB) > 0
+
+    def test_random_reads_seek_bound_on_hdd(self):
+        # 75 IOPS: a thousand scattered 4 KiB reads ≈ 13 s.
+        assert HDD_HD204UI.random_read_time(1000) == pytest.approx(1000 / 75)
+
+    def test_random_reads_bandwidth_bound_for_large_blocks(self):
+        # Very large "random" blocks degenerate to sequential bandwidth.
+        time = SSD_INTEL330.random_read_time(10, block_size=64 * 2**20)
+        assert time == pytest.approx(10 * 64 * 2**20 / SSD_INTEL330.seq_read_bps)
+
+    def test_zero_work_zero_time(self):
+        assert HDD_HD204UI.sequential_read_time(0) == 0.0
+        assert HDD_HD204UI.random_read_time(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HDD_HD204UI.sequential_read_time(-1)
+        with pytest.raises(ValueError):
+            HDD_HD204UI.sequential_write_time(-1)
+        with pytest.raises(ValueError):
+            HDD_HD204UI.random_read_time(-1)
+
+    def test_invalid_disk_params(self):
+        with pytest.raises(ValueError):
+            Disk(name="x", seq_read_bps=0, seq_write_bps=1, random_read_iops=1)
+
+
+class TestPaperObservation:
+    def test_checkpoint_read_not_bottleneck_on_lan(self):
+        # §4.4: HDD vs SSD made no difference — even the HDD streams a
+        # checkpoint faster than the gigabit wire delivers pages.
+        from repro.net.link import LAN_1GBE
+
+        checkpoint = 4 * GIB
+        assert HDD_HD204UI.sequential_read_time(checkpoint) < (
+            checkpoint / LAN_1GBE.effective_bandwidth
+        )
+
+    def test_page_size_default(self):
+        assert HDD_HD204UI.random_read_time(1, block_size=PAGE_SIZE) > 0

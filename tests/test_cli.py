@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("table1", "fig1", "fig3", "fig5", "fig6", "fig7",
+                        "fig8", "rates", "migrate", "postcopy",
+                        "consolidate", "gang", "summary"):
+            assert command in text
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Server A" in out and "8 GiB" in out.replace("     8 GiB", "8 GiB")
+
+    def test_rates(self, capsys):
+        assert main(["rates"]) == 0
+        assert "md5" in capsys.readouterr().out
+
+    def test_migrate_vecycle(self, capsys):
+        assert main(["migrate", "--size-mib", "32", "--strategy", "vecycle"]) == 0
+        out = capsys.readouterr().out
+        assert "similarity to checkpoint" in out
+
+    def test_migrate_qemu_no_checkpoint_line(self, capsys):
+        assert main(["migrate", "--size-mib", "32", "--strategy", "qemu"]) == 0
+        out = capsys.readouterr().out
+        assert "similarity to checkpoint" not in out
+
+    def test_migrate_with_updates(self, capsys):
+        assert main([
+            "migrate", "--size-mib", "32", "--strategy", "vecycle",
+            "--updates-percent", "50",
+        ]) == 0
+        assert "pages:" in capsys.readouterr().out
+
+    def test_fig6_custom_sizes(self, capsys):
+        assert main(["fig6", "--sizes", "64,128"]) == 0
+        out = capsys.readouterr().out
+        assert "64Mi" in out and "128Mi" in out
+
+    def test_fig8_short(self, capsys):
+        assert main(["fig8", "--epochs", "144"]) == 0
+        assert "vecycle" in capsys.readouterr().out
+
+    def test_fig1_short(self, capsys):
+        # Uses the full 6-machine panel at reduced epochs; slowest CLI
+        # test but still seconds.
+        assert main(["fig1", "--epochs", "48"]) == 0
+        assert "Crawler A" in capsys.readouterr().out
+
+    def test_fig4_short(self, capsys):
+        assert main(["fig4", "--epochs", "48"]) == 0
+        assert "dup mean" in capsys.readouterr().out
+
+    def test_fig3_worked_example(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "relocated" in out and "hashes+dedup" in out
+
+    def test_fig2_with_plot(self, capsys):
+        assert main(["fig2", "--epochs", "96", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "hours between snapshots" in out  # the ASCII chart
+
+    def test_postcopy(self, capsys):
+        assert main(["postcopy", "--size-mib", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "fill=" in out and "faults=" in out
+
+    def test_gang(self, capsys):
+        assert main(["gang", "--vms", "3", "--shared", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "cross-VM dedup" in out
+        assert "merged checkpoints" in out
+
+    def test_consolidate_small(self, capsys):
+        assert main(["consolidate", "--vms", "2", "--days", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "vecycle+dedup" in out and "migrations" in out
+
+    def test_summary_quick(self, capsys):
+        assert main(["summary"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" not in out

@@ -1,0 +1,53 @@
+"""Documentation gate: every public item carries a docstring.
+
+The repository promises "doc comments on every public item"; this test
+makes the promise enforceable.  Public = importable from a ``repro``
+module and not underscore-prefixed.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _repro_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_repro_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_classes_and_functions_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(obj):
+            for method_name, method in vars(obj).items():
+                if method_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(method):
+                    continue
+                if not (method.__doc__ and method.__doc__.strip()):
+                    undocumented.append(f"{name}.{method_name}")
+    assert not undocumented, (
+        f"{module.__name__} has undocumented public items: {undocumented}"
+    )

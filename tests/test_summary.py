@@ -1,0 +1,22 @@
+"""The reproduction digest must pass its own claims."""
+
+from repro.experiments import summary
+
+
+class TestSummary:
+    def test_all_claims_hold_at_quick_scale(self):
+        claims = summary.run(quick=True)
+        failing = [claim.text for claim in claims if not claim.holds]
+        assert not failing, failing
+
+    def test_covers_every_evaluation_section(self):
+        claims = summary.run(quick=True)
+        sources = " ".join(claim.source for claim in claims)
+        for marker in ("Fig 1", "Fig 5", "Fig 6", "Fig 7", "Fig 8"):
+            assert marker in sources
+
+    def test_format_has_verdicts(self):
+        claims = summary.run(quick=True)
+        text = summary.format_table(claims)
+        assert "PASS" in text
+        assert f"{len(claims)}/{len(claims)}" in text

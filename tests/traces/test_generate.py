@@ -1,0 +1,90 @@
+"""Unit tests for trace generation and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.traces.generate import Trace, generate_or_load, generate_trace
+from repro.traces.workload import EPOCH_SECONDS
+
+from tests.conftest import tiny_machine
+
+
+class TestGenerateTrace:
+    def test_epoch_count(self):
+        trace = generate_trace(tiny_machine(), num_epochs=24)
+        assert len(trace) == 24
+
+    def test_timestamps_aligned_to_epochs(self):
+        trace = generate_trace(tiny_machine(), num_epochs=12)
+        stamps = [fp.timestamp for fp in trace.fingerprints]
+        assert stamps[0] == EPOCH_SECONDS
+        deltas = np.diff(stamps)
+        assert (deltas % EPOCH_SECONDS == 0).all()
+
+    def test_metadata_carried(self):
+        spec = tiny_machine()
+        trace = generate_trace(spec, num_epochs=4)
+        assert trace.machine == spec.name
+        assert trace.ram_bytes == spec.ram_bytes
+        assert trace.num_pages == spec.params.num_pages
+
+    def test_deterministic_given_seed(self):
+        a = generate_trace(tiny_machine(), num_epochs=6)
+        b = generate_trace(tiny_machine(), num_epochs=6)
+        for fa, fb in zip(a.fingerprints, b.fingerprints):
+            assert (fa.hashes == fb.hashes).all()
+
+    def test_seed_override_changes_trace(self):
+        a = generate_trace(tiny_machine(), num_epochs=6)
+        b = generate_trace(tiny_machine(), num_epochs=6, seed=12345)
+        assert any(
+            (fa.hashes != fb.hashes).any()
+            for fa, fb in zip(a.fingerprints, b.fingerprints)
+        )
+
+    def test_default_length_from_spec(self):
+        spec = tiny_machine()
+        trace = generate_trace(spec)
+        assert len(trace) == spec.num_epochs
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            generate_trace(tiny_machine(), num_epochs=0)
+
+    def test_intermittent_machine_has_gaps(self):
+        from repro.traces.workload import ActivityPattern
+
+        spec = tiny_machine(
+            activity=ActivityPattern.INTERMITTENT, presence_probability=0.5
+        )
+        trace = generate_trace(spec, num_epochs=96)
+        assert len(trace) < 80  # well below the 96 possible
+
+    def test_duration_hours(self):
+        trace = generate_trace(tiny_machine(), num_epochs=48)
+        assert trace.duration_hours == pytest.approx(23.5)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = generate_trace(tiny_machine(), num_epochs=6)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.machine == trace.machine
+        assert loaded.ram_bytes == trace.ram_bytes
+        assert len(loaded) == len(trace)
+        for a, b in zip(trace.fingerprints, loaded.fingerprints):
+            assert a.timestamp == b.timestamp
+            assert (a.hashes == b.hashes).all()
+
+    def test_generate_or_load_caches(self, tmp_path):
+        spec = tiny_machine()
+        first = generate_or_load(spec, tmp_path, num_epochs=4)
+        files = list(tmp_path.glob("*.npz"))
+        assert len(files) == 1
+        second = generate_or_load(spec, tmp_path, num_epochs=4)
+        assert (
+            first.fingerprints[0].hashes == second.fingerprints[0].hashes
+        ).all()
+        assert list(tmp_path.glob("*.npz")) == files

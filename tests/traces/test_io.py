@@ -1,0 +1,118 @@
+"""Unit tests for the text trace interchange format."""
+
+import numpy as np
+import pytest
+
+from repro.core.fingerprint import Fingerprint
+from repro.traces.generate import Trace
+from repro.traces.io import (
+    FORMAT_MAGIC,
+    TraceFormatError,
+    export_text,
+    import_text,
+)
+
+
+def sample_trace():
+    prints = [
+        Fingerprint(hashes=np.asarray([1, 2, 2**63], dtype=np.uint64), timestamp=1800.0),
+        Fingerprint(hashes=np.asarray([1, 9, 3], dtype=np.uint64), timestamp=3600.0),
+    ]
+    return Trace(machine="Test Box", ram_bytes=12288, fingerprints=prints)
+
+
+class TestRoundtrip:
+    def test_export_import(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        original = sample_trace()
+        export_text(original, path)
+        loaded = import_text(path)
+        assert loaded.machine == "Test Box"
+        assert loaded.ram_bytes == 12288
+        assert len(loaded) == 2
+        for a, b in zip(original.fingerprints, loaded.fingerprints):
+            assert a.timestamp == b.timestamp
+            assert (a.hashes == b.hashes).all()
+
+    def test_format_header(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        export_text(sample_trace(), path)
+        first = path.read_text().splitlines()[0]
+        assert first == FORMAT_MAGIC
+
+    def test_generated_trace_roundtrip(self, tmp_path, tiny_trace):
+        path = tmp_path / "tiny.txt"
+        export_text(tiny_trace, path)
+        loaded = import_text(path)
+        assert len(loaded) == len(tiny_trace)
+        assert (
+            loaded.fingerprints[-1].hashes == tiny_trace.fingerprints[-1].hashes
+        ).all()
+
+
+class TestErrors:
+    def write(self, tmp_path, text):
+        path = tmp_path / "bad.txt"
+        path.write_text(text)
+        return path
+
+    def test_missing_magic(self, tmp_path):
+        path = self.write(tmp_path, "hello\n")
+        with pytest.raises(TraceFormatError, match="magic"):
+            import_text(path)
+
+    def test_missing_headers(self, tmp_path):
+        path = self.write(tmp_path, f"{FORMAT_MAGIC}\nfingerprint 0\n01\n")
+        with pytest.raises(TraceFormatError, match="headers required"):
+            import_text(path)
+
+    def test_bad_hash_line(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            f"{FORMAT_MAGIC}\n# machine: x\n# ram_bytes: 4096\n"
+            "fingerprint 0\nnot-hex\n",
+        )
+        with pytest.raises(TraceFormatError, match="bad hash"):
+            import_text(path)
+
+    def test_hash_before_fingerprint(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            f"{FORMAT_MAGIC}\n# machine: x\n# ram_bytes: 4096\n0001\n",
+        )
+        with pytest.raises(TraceFormatError, match="before any fingerprint"):
+            import_text(path)
+
+    def test_inconsistent_page_counts(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            f"{FORMAT_MAGIC}\n# machine: x\n# ram_bytes: 4096\n"
+            "fingerprint 0\n0001\n0002\nfingerprint 1800\n0001\n",
+        )
+        with pytest.raises(TraceFormatError, match="pages"):
+            import_text(path)
+
+    def test_no_fingerprints(self, tmp_path):
+        path = self.write(
+            tmp_path, f"{FORMAT_MAGIC}\n# machine: x\n# ram_bytes: 4096\n"
+        )
+        with pytest.raises(TraceFormatError, match="no fingerprints"):
+            import_text(path)
+
+    def test_bad_timestamp(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            f"{FORMAT_MAGIC}\n# machine: x\n# ram_bytes: 4096\n"
+            "fingerprint soon\n0001\n",
+        )
+        with pytest.raises(TraceFormatError, match="timestamp"):
+            import_text(path)
+
+    def test_bad_ram_bytes(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            f"{FORMAT_MAGIC}\n# machine: x\n# ram_bytes: lots\n"
+            "fingerprint 0\n0001\n",
+        )
+        with pytest.raises(TraceFormatError, match="ram_bytes"):
+            import_text(path)

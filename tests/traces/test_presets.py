@@ -1,0 +1,74 @@
+"""Tests for the calibrated machine presets (Table 1 + §4.6)."""
+
+import pytest
+
+from repro.traces.presets import (
+    ALL_MACHINES,
+    CRAWLERS,
+    DESKTOP,
+    LAPTOPS,
+    SERVERS,
+    TABLE1_MACHINES,
+    get_machine,
+)
+from repro.traces.workload import ActivityPattern
+
+GIB = 2**30
+
+
+class TestCatalog:
+    def test_table1_systems_present(self):
+        names = {spec.name for spec in TABLE1_MACHINES}
+        assert {"Server A", "Server B", "Server C"} <= names
+        assert {"Laptop A", "Laptop B", "Laptop C", "Laptop D"} <= names
+
+    def test_table1_ram_sizes_match_paper(self):
+        sizes = {spec.name: spec.ram_bytes for spec in TABLE1_MACHINES}
+        assert sizes["Server A"] == 1 * GIB
+        assert sizes["Server B"] == 4 * GIB
+        assert sizes["Server C"] == 8 * GIB
+        assert all(sizes[f"Laptop {x}"] == 2 * GIB for x in "ABCD")
+
+    def test_table1_os_match_paper(self):
+        for spec in TABLE1_MACHINES:
+            expected = "OSX" if spec.name.startswith("Laptop") else "Linux"
+            assert spec.os == expected
+
+    def test_trace_ids_match_paper(self):
+        assert get_machine("Server A").trace_id == "00065BEE5AA7"
+        assert get_machine("Laptop A").trace_id == "001B6333F86A"
+
+    def test_trace_durations(self):
+        # 7 days for Memory Buddies machines, 4 for crawlers, 19 for the
+        # desktop (§2.3, §4.6).
+        assert all(spec.trace_days == 7 for spec in TABLE1_MACHINES)
+        assert all(spec.trace_days == 4 for spec in CRAWLERS)
+        assert DESKTOP.trace_days == 19
+
+    def test_epoch_counts(self):
+        # 7 * 48 = 336 possible fingerprints per week (§2.3).
+        assert get_machine("Server A").num_epochs == 336
+        assert DESKTOP.num_epochs == 912  # 19 days, as in §4.6.
+
+    def test_activity_classes(self):
+        assert all(
+            spec.params.activity is ActivityPattern.DIURNAL for spec in SERVERS
+        )
+        assert all(
+            spec.params.activity is ActivityPattern.INTERMITTENT for spec in LAPTOPS
+        )
+        assert all(
+            spec.params.activity is ActivityPattern.CONSTANT for spec in CRAWLERS
+        )
+        assert DESKTOP.params.activity is ActivityPattern.OFFICE_HOURS
+
+    def test_unique_seeds(self):
+        seeds = [spec.seed for spec in ALL_MACHINES]
+        assert len(seeds) == len(set(seeds))
+
+    def test_get_machine_unknown(self):
+        with pytest.raises(KeyError, match="Server B"):
+            get_machine("Mainframe Z")
+
+    def test_ram_gib_property(self):
+        assert get_machine("Server C").ram_gib == 8.0

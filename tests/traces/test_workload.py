@@ -1,0 +1,187 @@
+"""Unit tests for the synthetic workload model."""
+
+import numpy as np
+import pytest
+
+from repro.traces.workload import (
+    ActivityPattern,
+    EPOCH_SECONDS,
+    MachineWorkload,
+    WorkloadParams,
+)
+
+
+def params(**overrides):
+    defaults = dict(
+        num_pages=2048,
+        stable_fraction=0.2,
+        hot_fraction=0.3,
+        base_update_fraction=0.2,
+        duplicate_fraction=0.05,
+        zero_fraction=0.02,
+        relocate_fraction=0.01,
+        recall_fraction=0.2,
+        activity=ActivityPattern.CONSTANT,
+        activity_floor=0.5,
+    )
+    defaults.update(overrides)
+    return WorkloadParams(**defaults)
+
+
+class TestParams:
+    def test_fraction_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            params(stable_fraction=1.5)
+        with pytest.raises(ValueError):
+            params(recall_fraction=-0.1)
+
+    def test_num_pages_positive(self):
+        with pytest.raises(ValueError):
+            params(num_pages=0)
+
+    def test_burst_multiplier_at_least_one(self):
+        with pytest.raises(ValueError):
+            params(burst_multiplier=0.5)
+
+    def test_day_sigma_non_negative(self):
+        with pytest.raises(ValueError):
+            params(day_sigma=-1)
+
+    def test_weekend_factor_bounds(self):
+        with pytest.raises(ValueError):
+            params(weekend_factor=2.0)
+
+
+class TestActivityPatterns:
+    def test_constant_always_busy(self):
+        workload = MachineWorkload(params(activity=ActivityPattern.CONSTANT,
+                                          activity_floor=0.8), seed=1)
+        levels = [workload.activity_level(epoch) for epoch in range(96)]
+        assert min(levels) >= 0.8
+
+    def test_office_hours_quiet_at_night(self):
+        workload = MachineWorkload(
+            params(activity=ActivityPattern.OFFICE_HOURS, activity_floor=0.01),
+            seed=1,
+        )
+        # Epoch 6 = 3am, epoch 24 = noon (weekday 0 = Monday in the
+        # workload's own clock).
+        night = workload.activity_level(6)
+        noon = workload.activity_level(24)
+        assert night == pytest.approx(0.01, abs=0.005)
+        assert noon > 10 * night
+
+    def test_office_hours_quiet_on_weekend(self):
+        workload = MachineWorkload(
+            params(activity=ActivityPattern.OFFICE_HOURS, activity_floor=0.01),
+            seed=1,
+        )
+        # Day 5 (Saturday) at noon.
+        weekend_noon = workload.activity_level(5 * 48 + 24)
+        assert weekend_noon == pytest.approx(0.01, abs=0.005)
+
+    def test_diurnal_day_night_contrast(self):
+        workload = MachineWorkload(
+            params(activity=ActivityPattern.DIURNAL, activity_floor=0.02,
+                   day_sigma=0.0),
+            seed=1,
+        )
+        night = np.mean([workload.activity_level(d * 48 + 4) for d in range(5)])
+        afternoon = np.mean([workload.activity_level(d * 48 + 28) for d in range(5)])
+        assert afternoon > 5 * night
+
+
+class TestPresence:
+    def test_servers_always_present(self):
+        workload = MachineWorkload(params(activity=ActivityPattern.CONSTANT), seed=1)
+        assert all(workload.present(epoch) for epoch in range(100))
+
+    def test_laptops_sometimes_absent(self):
+        workload = MachineWorkload(
+            params(
+                activity=ActivityPattern.INTERMITTENT, presence_probability=0.5
+            ),
+            seed=1,
+        )
+        present = sum(workload.present(epoch) for epoch in range(200))
+        assert 60 < present < 140
+
+
+class TestAdvanceEpoch:
+    def test_epoch_counter_advances(self):
+        workload = MachineWorkload(params(), seed=1)
+        workload.advance_epoch()
+        workload.advance_epoch()
+        assert workload.epoch == 2
+        assert workload.fingerprint().timestamp == 2 * EPOCH_SECONDS
+
+    def test_memory_changes_under_load(self):
+        workload = MachineWorkload(params(), seed=1)
+        before = workload.fingerprint()
+        workload.advance_epoch()
+        after = workload.fingerprint()
+        assert after.dirty_slots(since=before).size > 0
+
+    def test_stable_set_never_changes(self):
+        workload = MachineWorkload(params(stable_fraction=0.5), seed=2)
+        stable_slots = np.setdiff1d(
+            np.arange(workload.params.num_pages), workload._mutable
+        )
+        before = workload.image.slots[stable_slots].copy()
+        for _ in range(20):
+            workload.advance_epoch()
+        after = workload.image.slots[stable_slots]
+        assert (before == after).all()
+
+    def test_determinism_per_seed(self):
+        prints = []
+        for _ in range(2):
+            workload = MachineWorkload(params(), seed=42)
+            for _ in range(5):
+                workload.advance_epoch()
+            prints.append(workload.fingerprint())
+        assert (prints[0].hashes == prints[1].hashes).all()
+
+    def test_different_seeds_differ(self):
+        workloads = [MachineWorkload(params(), seed=s) for s in (1, 2)]
+        for workload in workloads:
+            for _ in range(3):
+                workload.advance_epoch()
+        assert (
+            workloads[0].fingerprint().hashes != workloads[1].fingerprint().hashes
+        ).any()
+
+
+class TestRecallMechanism:
+    def test_recalled_content_exists_in_old_snapshots(self):
+        # The heart of the hashes-vs-dirty gap: after enough churn, some
+        # dirty slots hold content that an old snapshot already had.
+        workload = MachineWorkload(params(recall_fraction=0.4), seed=3)
+        for _ in range(10):
+            workload.advance_epoch()
+        old = workload.fingerprint()
+        for _ in range(10):
+            workload.advance_epoch()
+        new = workload.fingerprint()
+        dirty = new.dirty_slots(since=old)
+        assert dirty.size > 0
+        dirty_contents = new.hashes[dirty]
+        recalled = np.isin(dirty_contents, old.unique_hashes())
+        assert recalled.sum() > 0
+
+    def test_no_recall_means_no_reappearing_content(self):
+        workload = MachineWorkload(
+            params(recall_fraction=0.0, duplicate_fraction=0.0,
+                   relocate_fraction=0.0, zero_fraction=0.0),
+            seed=3,
+        )
+        for _ in range(5):
+            workload.advance_epoch()
+        old = workload.fingerprint()
+        for _ in range(5):
+            workload.advance_epoch()
+        new = workload.fingerprint()
+        dirty = new.dirty_slots(since=old)
+        dirty_contents = new.hashes[dirty]
+        # Fresh-only writes: changed content never reappears.
+        assert not np.isin(dirty_contents, old.unique_hashes()).any()

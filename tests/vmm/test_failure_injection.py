@@ -1,0 +1,170 @@
+"""Failure injection for the byte-faithful migration protocol.
+
+What happens when the checkpoint file rots, is truncated, or the
+checksum algorithm is too weak?  The paper leans on MD5's collision
+resistance (§3.4: "VeCycle has to rely on strong checksums"); these
+tests demonstrate the failure modes that justify that reliance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.checksum import ChecksumAlgorithm
+from repro.vmm.guest import GuestRAM, mutate_random_pages
+from repro.vmm.migrate import (
+    MigrationDestination,
+    ProtocolError,
+    run_migration,
+    write_checkpoint,
+)
+
+
+def populated_ram(num_pages=16, seed=0):
+    ram = GuestRAM(num_pages)
+    for page in range(num_pages):
+        ram.write_pattern(page, seed=seed * 1000 + page)
+    return ram
+
+
+class TestCorruptCheckpoint:
+    def test_bit_rot_detected_on_disk_reuse(self, tmp_path):
+        """A flipped byte in the checkpoint file must not reach guest RAM.
+
+        The destination indexes checksums while preloading; corruption
+        after indexing is caught by the re-verification in the
+        Listing 1 merge path.
+        """
+        ram = populated_ram()
+        path = tmp_path / "ckpt"
+        write_checkpoint(ram, path)
+        destination = MigrationDestination(ram.num_pages, checkpoint_path=path)
+        announced = destination.announce()
+
+        # Rot one byte of page 3 *after* the index was built.
+        blob = bytearray(path.read_bytes())
+        blob[3 * 4096 + 100] ^= 0xFF
+        path.write_bytes(bytes(blob))
+
+        # Force the disk-reuse path: ask for page 3's content at a
+        # different frame, so the in-memory copy (also stale) mismatches
+        # and the destination seeks into the (now corrupt) file.
+        page3 = ram.read_page(3)
+        source_ram = GuestRAM(ram.num_pages)
+        for page in range(ram.num_pages):
+            source_ram.write_page(page, ram.read_page(page))
+        source_ram.write_page(0, page3)          # page 3 content moved to frame 0
+        source_ram.write_page(3, b"\x11" * 4096)  # frame 3 got new bytes
+
+        from repro.vmm.migrate import MigrationSource
+
+        source = MigrationSource(source_ram, announced)
+        messages = list(source.messages())
+        # Frame 0 carries page-3's old checksum -> the destination
+        # (whose index predates the corruption) must fetch from disk,
+        # detect the rot, and refuse rather than install wrong bytes.
+        destination.ram.write_page(0, b"\x22" * 4096)  # defeat in-place check
+        with pytest.raises(ProtocolError, match="no longer matches"):
+            for message in messages:
+                destination.receive(message)
+
+    def test_rot_before_preload_caught_as_missing_checksum(self, tmp_path):
+        """Corruption *before* the destination loads the checkpoint is
+        caught differently: the announced set no longer contains the
+        original checksum... but since the announce comes FROM the
+        corrupted index, the source simply sends the page in full and
+        the migration stays correct."""
+        ram = populated_ram()
+        path = tmp_path / "ckpt"
+        write_checkpoint(ram, path)
+        blob = bytearray(path.read_bytes())
+        blob[3 * 4096 + 100] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        result = run_migration(ram, checkpoint_path=path)
+        assert result.identical
+        # Exactly the rotted page travelled in full.
+        assert result.send.pages_full == 1
+
+    def test_truncated_checkpoint_rejected_at_load(self, tmp_path):
+        ram = populated_ram()
+        path = tmp_path / "ckpt"
+        write_checkpoint(ram, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(ValueError, match="bytes"):
+            MigrationDestination(ram.num_pages, checkpoint_path=path)
+
+    def test_oversized_checkpoint_rejected_at_load(self, tmp_path):
+        ram = populated_ram()
+        path = tmp_path / "ckpt"
+        write_checkpoint(ram, path)
+        path.write_bytes(path.read_bytes() + b"\x00" * 4096)
+        with pytest.raises(ValueError):
+            MigrationDestination(ram.num_pages, checkpoint_path=path)
+
+
+class TestWeakChecksums:
+    def test_colliding_checksum_silently_corrupts(self, tmp_path):
+        """§3.4's warning made concrete: a checksum that collides lets
+        the destination reuse the *wrong* page without noticing.
+
+        We register a pathologically weak 1-byte "checksum": collisions
+        are guaranteed with more than 256 distinct pages — here even
+        with 16 pages the first-byte-only digest collides easily.
+        """
+        weak = ChecksumAlgorithm(
+            name="first-byte",
+            digest_size=1,
+            throughput=1e12,
+            func=lambda data: data[:1],
+        )
+        ram = GuestRAM(4)
+        # Four pages sharing the first byte but differing afterwards.
+        for page in range(4):
+            ram.write_page(page, b"\xAA" + bytes([page]) * 4095)
+        path = tmp_path / "ckpt"
+        write_checkpoint(ram, path)
+
+        # The source's memory: page 0 replaced by *different* content
+        # that happens to share the weak digest.
+        source = GuestRAM(4)
+        for page in range(1, 4):
+            source.write_page(page, ram.read_page(page))
+        source.write_page(0, b"\xAA" + b"\xFF" * 4095)
+
+        result = run_migration(source, checkpoint_path=path, algorithm=weak)
+        # The protocol "succeeds" — zero pages sent — but the
+        # destination's memory is NOT identical: silent corruption.
+        assert result.send.pages_full == 0
+        assert not result.identical
+
+    def test_strong_checksum_immune_to_same_scenario(self, tmp_path):
+        ram = GuestRAM(4)
+        for page in range(4):
+            ram.write_page(page, b"\xAA" + bytes([page]) * 4095)
+        path = tmp_path / "ckpt"
+        write_checkpoint(ram, path)
+        source = GuestRAM(4)
+        for page in range(1, 4):
+            source.write_page(page, ram.read_page(page))
+        source.write_page(0, b"\xAA" + b"\xFF" * 4095)
+
+        result = run_migration(source, checkpoint_path=path)  # MD5
+        assert result.send.pages_full == 1
+        assert result.identical
+
+
+class TestRandomizedEndToEnd:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_arbitrary_mutations_always_reconstruct(self, tmp_path, seed):
+        rng = np.random.default_rng(seed)
+        ram = populated_ram(num_pages=24, seed=seed)
+        path = tmp_path / "ckpt"
+        write_checkpoint(ram, path)
+        # A random mix of mutations.
+        mutate_random_pages(ram, float(rng.uniform(0, 0.8)), rng)
+        if rng.random() < 0.5:
+            from repro.vmm.guest import relocate_pages
+
+            relocate_pages(ram, rng.choice(24, size=8, replace=False), rng)
+        result = run_migration(ram, checkpoint_path=path)
+        assert result.identical

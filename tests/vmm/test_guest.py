@@ -1,0 +1,99 @@
+"""Unit tests for the byte-level guest RAM."""
+
+import numpy as np
+import pytest
+
+from repro.core.checksum import PAGE_SIZE
+from repro.mem.image import MemoryImage
+from repro.mem.pagestore import PageStore
+from repro.vmm.guest import GuestRAM, mutate_random_pages, relocate_pages
+
+
+class TestGuestRAM:
+    def test_starts_zeroed(self):
+        ram = GuestRAM(4)
+        assert ram.read_page(0) == bytes(PAGE_SIZE)
+        assert ram.size_bytes == 4 * PAGE_SIZE
+
+    def test_write_read_roundtrip(self):
+        ram = GuestRAM(4)
+        data = bytes(range(256)) * (PAGE_SIZE // 256)
+        ram.write_page(2, data)
+        assert ram.read_page(2) == data
+        assert ram.read_page(1) == bytes(PAGE_SIZE)
+
+    def test_wrong_size_write_rejected(self):
+        ram = GuestRAM(4)
+        with pytest.raises(ValueError):
+            ram.write_page(0, b"short")
+
+    def test_out_of_range_rejected(self):
+        ram = GuestRAM(4)
+        with pytest.raises(IndexError):
+            ram.read_page(4)
+        with pytest.raises(IndexError):
+            ram.write_page(-1, bytes(PAGE_SIZE))
+
+    def test_write_pattern_deterministic(self):
+        a, b = GuestRAM(2), GuestRAM(2)
+        a.write_pattern(0, seed=7)
+        b.write_pattern(0, seed=7)
+        assert a == b
+        b.write_pattern(0, seed=8)
+        assert a != b
+
+    def test_snapshot_is_copy(self):
+        ram = GuestRAM(2)
+        snap = ram.snapshot()
+        ram.write_pattern(0, seed=1)
+        assert snap == bytes(2 * PAGE_SIZE)
+
+    def test_pages_iterator(self):
+        ram = GuestRAM(3)
+        pages = list(ram.pages())
+        assert [p[0] for p in pages] == [0, 1, 2]
+        assert all(len(p[1]) == PAGE_SIZE for p in pages)
+
+    def test_equality_against_other_types(self):
+        assert GuestRAM(1) != "not a ram"
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            GuestRAM(0)
+        with pytest.raises(ValueError):
+            GuestRAM(1, page_size=0)
+
+
+class TestFromImage:
+    def test_materializes_content_ids(self):
+        image = MemoryImage(8)
+        image.write_fresh(np.asarray([0, 1]))
+        image.write_duplicate_of(np.asarray([2]), 0)
+        store = PageStore()
+        ram = GuestRAM.from_image(image, store)
+        assert ram.read_page(0) == ram.read_page(2)  # duplicates match
+        assert ram.read_page(0) != ram.read_page(1)
+        assert ram.read_page(3) == bytes(PAGE_SIZE)  # zero page
+
+
+class TestMutations:
+    def test_mutate_random_pages_fraction(self):
+        ram = GuestRAM(20)
+        rng = np.random.default_rng(0)
+        changed = mutate_random_pages(ram, 0.5, rng)
+        assert len(changed) == 10
+        non_zero = sum(ram.read_page(i) != bytes(PAGE_SIZE) for i in range(20))
+        assert non_zero == 10
+
+    def test_mutate_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            mutate_random_pages(GuestRAM(4), 1.5, np.random.default_rng(0))
+
+    def test_relocate_preserves_content_multiset(self):
+        ram = GuestRAM(6)
+        for page in range(6):
+            ram.write_pattern(page, seed=page)
+        before = sorted(ram.read_page(i) for i in range(6))
+        relocate_pages(ram, np.arange(6), np.random.default_rng(3))
+        after = sorted(ram.read_page(i) for i in range(6))
+        assert before == after

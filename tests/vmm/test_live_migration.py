@@ -1,0 +1,103 @@
+"""Byte-level multi-round live migration tests (§3.1's full loop)."""
+
+import numpy as np
+import pytest
+
+from repro.vmm.guest import GuestRAM
+from repro.vmm.migrate import run_live_migration, write_checkpoint
+
+
+def populated_ram(num_pages=24, seed=0):
+    ram = GuestRAM(num_pages)
+    for page in range(num_pages):
+        ram.write_pattern(page, seed=seed * 1000 + page)
+    return ram
+
+
+def quiet_writer(ram, round_no):
+    return []
+
+
+class TestLiveMigration:
+    def test_quiet_guest_single_round(self, tmp_path):
+        ram = populated_ram()
+        path = tmp_path / "ckpt"
+        write_checkpoint(ram, path)
+        result = run_live_migration(ram, path, quiet_writer)
+        assert result.identical
+        assert result.num_rounds == 1
+        assert result.dirty_round_bytes == 0
+
+    def test_writes_between_rounds_resent_and_converge(self, tmp_path):
+        ram = populated_ram()
+        path = tmp_path / "ckpt"
+        write_checkpoint(ram, path)
+        rng = np.random.default_rng(3)
+
+        schedule = {1: [0, 1, 2, 3], 2: [1, 2], 3: [2]}
+
+        def writer(guest, round_no):
+            pages = schedule.get(round_no, [])
+            for page in pages:
+                guest.write_page(page, rng.bytes(guest.page_size))
+            return pages
+
+        result = run_live_migration(ram, path, writer)
+        assert result.identical
+        # Rounds shrink: 4 -> 2 -> 1, then the writer goes quiet.
+        assert result.dirty_rounds == [4, 2, 1]
+        assert result.num_rounds == 4
+
+    def test_round_cap_forces_stop_and_copy(self, tmp_path):
+        ram = populated_ram()
+        path = tmp_path / "ckpt"
+        write_checkpoint(ram, path)
+        rng = np.random.default_rng(4)
+
+        def hot_writer(guest, round_no):
+            # Never converges on its own.
+            pages = list(rng.choice(guest.num_pages, size=6, replace=False))
+            for page in pages:
+                guest.write_page(int(page), rng.bytes(guest.page_size))
+            return pages
+
+        result = run_live_migration(ram, path, hot_writer, max_rounds=4)
+        assert result.identical  # stop-and-copy caught the remainder
+        assert result.num_rounds <= 5
+
+    def test_rewriting_same_bytes_still_resent(self, tmp_path):
+        # Dirty-page semantics in later rounds: VeCycle does not
+        # checksum them (§3.1), so a write that restores identical
+        # bytes is still retransmitted — correctness over cleverness.
+        ram = populated_ram()
+        path = tmp_path / "ckpt"
+        write_checkpoint(ram, path)
+
+        def same_bytes_writer(guest, round_no):
+            if round_no > 1:
+                return []
+            guest.write_page(0, guest.read_page(0))
+            return [0]
+
+        result = run_live_migration(ram, path, same_bytes_writer)
+        assert result.identical
+        assert result.dirty_rounds == [1]
+        assert result.dirty_round_bytes > 4096
+
+    def test_first_round_still_checkpoint_assisted(self, tmp_path):
+        ram = populated_ram()
+        path = tmp_path / "ckpt"
+        write_checkpoint(ram, path)
+        result = run_live_migration(ram, path, quiet_writer)
+        assert result.first_round.send.pages_full == 0
+        assert result.first_round.send.pages_checksum_only == ram.num_pages
+
+    def test_without_checkpoint(self, tmp_path):
+        ram = populated_ram()
+        result = run_live_migration(ram, None, quiet_writer)
+        assert result.identical
+        assert result.first_round.send.pages_full == ram.num_pages
+
+    def test_invalid_rounds(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_live_migration(populated_ram(), None, quiet_writer, max_rounds=0)

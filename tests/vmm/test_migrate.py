@@ -1,0 +1,154 @@
+"""End-to-end tests of the byte-faithful migration protocol (Listing 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.checksum import get_algorithm
+from repro.vmm.guest import GuestRAM, mutate_random_pages, relocate_pages
+from repro.vmm.migrate import (
+    MigrationDestination,
+    PageMessage,
+    ProtocolError,
+    run_migration,
+    write_checkpoint,
+)
+
+
+def populated_ram(num_pages=32, seed=0):
+    ram = GuestRAM(num_pages)
+    for page in range(num_pages):
+        ram.write_pattern(page, seed=seed * 1000 + page)
+    return ram
+
+
+class TestCheckpointFile:
+    def test_write_checkpoint_size(self, tmp_path):
+        ram = populated_ram(8)
+        path = tmp_path / "ckpt"
+        assert write_checkpoint(ram, path) == ram.size_bytes
+        assert path.stat().st_size == ram.size_bytes
+
+    def test_destination_preloads_checkpoint(self, tmp_path):
+        ram = populated_ram(8)
+        path = tmp_path / "ckpt"
+        write_checkpoint(ram, path)
+        destination = MigrationDestination(8, checkpoint_path=path)
+        assert destination.ram == ram
+
+    def test_size_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ckpt"
+        write_checkpoint(populated_ram(8), path)
+        with pytest.raises(ValueError):
+            MigrationDestination(16, checkpoint_path=path)
+
+
+class TestFirstVisit:
+    def test_no_checkpoint_everything_sent(self):
+        source = populated_ram(16)
+        result = run_migration(source, checkpoint_path=None)
+        assert result.identical
+        assert result.send.pages_full == 16
+        assert result.send.pages_checksum_only == 0
+
+    def test_empty_announce(self):
+        destination = MigrationDestination(4)
+        assert destination.announce() == frozenset()
+
+
+class TestPingPongReuse:
+    def test_identical_memory_sends_no_pages(self, tmp_path):
+        ram = populated_ram(16)
+        path = tmp_path / "ckpt"
+        write_checkpoint(ram, path)
+        result = run_migration(ram, checkpoint_path=path)
+        assert result.identical
+        assert result.send.pages_full == 0
+        assert result.send.pages_checksum_only == 16
+        assert result.merge.pages_reused_in_place == 16
+        assert result.merge.pages_reused_from_disk == 0
+
+    def test_partial_update_sends_only_changes(self, tmp_path):
+        ram = populated_ram(32, seed=1)
+        path = tmp_path / "ckpt"
+        write_checkpoint(ram, path)
+        rng = np.random.default_rng(5)
+        changed = mutate_random_pages(ram, 0.25, rng)
+        result = run_migration(ram, checkpoint_path=path)
+        assert result.identical
+        assert result.send.pages_full == len(changed)
+        assert result.send.pages_checksum_only == 32 - len(changed)
+
+    def test_relocated_pages_read_from_disk(self, tmp_path):
+        ram = populated_ram(16, seed=2)
+        path = tmp_path / "ckpt"
+        write_checkpoint(ram, path)
+        rng = np.random.default_rng(9)
+        relocate_pages(ram, np.arange(16), rng)
+        result = run_migration(ram, checkpoint_path=path)
+        assert result.identical
+        assert result.send.pages_full == 0
+        # Pages that landed on a different frame are merged from the
+        # checkpoint file via the binary-searched offset (Listing 1).
+        assert result.merge.pages_reused_from_disk > 0
+        assert (
+            result.merge.pages_reused_from_disk
+            + result.merge.pages_reused_in_place
+            == 16
+        )
+
+    def test_traffic_shrinks_with_similarity(self, tmp_path):
+        ram = populated_ram(64, seed=3)
+        path = tmp_path / "ckpt"
+        write_checkpoint(ram, path)
+        rng = np.random.default_rng(11)
+
+        low_change = populated_ram(64, seed=3)
+        mutate_random_pages(low_change, 0.1, rng)
+        high_change = populated_ram(64, seed=3)
+        mutate_random_pages(high_change, 0.9, rng)
+
+        low = run_migration(low_change, checkpoint_path=path)
+        high = run_migration(high_change, checkpoint_path=path)
+        assert low.tx_bytes < high.tx_bytes
+        assert low.identical and high.identical
+
+
+class TestAlgorithms:
+    @pytest.mark.parametrize("name", ["md5", "sha1", "sha256", "blake2b"])
+    def test_protocol_works_with_any_checksum(self, tmp_path, name):
+        algorithm = get_algorithm(name)
+        ram = populated_ram(8, seed=4)
+        path = tmp_path / "ckpt"
+        write_checkpoint(ram, path)
+        mutate_random_pages(ram, 0.25, np.random.default_rng(1))
+        result = run_migration(ram, checkpoint_path=path, algorithm=algorithm)
+        assert result.identical
+
+
+class TestProtocolErrors:
+    def test_unknown_checksum_only_message_raises(self, tmp_path):
+        ram = populated_ram(4, seed=6)
+        path = tmp_path / "ckpt"
+        write_checkpoint(ram, path)
+        destination = MigrationDestination(4, checkpoint_path=path)
+        destination.announce()
+        bogus = PageMessage(page_number=0, checksum=b"\x00" * 16, payload=None)
+        with pytest.raises(ProtocolError):
+            destination.receive(bogus)
+
+    def test_wire_bytes_accounting(self):
+        full = PageMessage(0, b"c" * 16, payload=bytes(4096))
+        small = PageMessage(0, b"c" * 16)
+        assert full.wire_bytes == 9 + 16 + 4096
+        assert small.wire_bytes == 9 + 16
+
+    def test_merge_stats_sum(self, tmp_path):
+        ram = populated_ram(16, seed=8)
+        path = tmp_path / "ckpt"
+        write_checkpoint(ram, path)
+        mutate_random_pages(ram, 0.5, np.random.default_rng(2))
+        result = run_migration(ram, checkpoint_path=path)
+        assert result.merge.pages_received == 16
+        assert (
+            result.send.pages_full + result.merge.pages_reused == 16
+        )
