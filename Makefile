@@ -1,15 +1,18 @@
 # Developer entry points for the VeCycle reproduction.
 
-.PHONY: install test bench summary examples figures clean
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH
+
+.PHONY: install test bench summary examples figures runtime-demo clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
-	pytest tests/
+	python -m pytest tests/ -x -q
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	python -m pytest benchmarks/ --benchmark-only
 
 # Printed tables for every figure, plus the one-page digest.
 figures:
@@ -26,6 +29,13 @@ figures:
 
 summary:
 	python -m repro summary
+
+# Live localhost migrations through the asyncio runtime: every strategy,
+# cross-validated against the analytic model, plus one run that loses
+# the connection mid-transfer and resumes.
+runtime-demo:
+	python -m repro runtime --size-mib 16 --strategy all
+	python -m repro runtime --size-mib 16 --strategy vecycle --inject-disconnect 100
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f; done

@@ -20,6 +20,9 @@ Package map:
   (Figures 6 and 7).
 * :mod:`repro.vmm` — a byte-faithful mini-hypervisor running the real
   protocol (Listing 1) on real pages and checkpoint files.
+* :mod:`repro.runtime` — a live asyncio migration runtime: checkpoint
+  daemons, migration sources, traffic shaping, and cross-validation of
+  on-the-wire bytes against the analytic model.
 * :mod:`repro.cluster` — hosts, schedules and the VDI replay (Figure 8).
 
 Quickstart::
@@ -73,6 +76,19 @@ from repro.migration import (
     simulate_migration,
 )
 from repro.net import LAN_1GBE, WAN_CLOUDNET, Link
+from repro.runtime import (
+    CheckpointDaemon,
+    CrossValidation,
+    MigrationError,
+    MigrationMetrics,
+    MigrationSource,
+    RetryPolicy,
+    RuntimeConfig,
+    SourceState,
+    cross_validate,
+    idle_vm_scenario,
+    run_cross_validation,
+)
 from repro.storage import HDD_HD204UI, SSD_INTEL330, Disk
 from repro.traces import Trace, generate_trace, get_machine
 
@@ -112,6 +128,17 @@ __all__ = [
     "LAN_1GBE",
     "WAN_CLOUDNET",
     "Link",
+    "CheckpointDaemon",
+    "CrossValidation",
+    "MigrationError",
+    "MigrationMetrics",
+    "MigrationSource",
+    "RetryPolicy",
+    "RuntimeConfig",
+    "SourceState",
+    "cross_validate",
+    "idle_vm_scenario",
+    "run_cross_validation",
     "HDD_HD204UI",
     "SSD_INTEL330",
     "Disk",

@@ -13,6 +13,7 @@ Usage::
     vecycle rates
     vecycle summary [--full]
     vecycle migrate --size-mib 1024 --strategy vecycle --link wan-cloudnet
+    vecycle runtime --size-mib 16 --strategy all [--inject-disconnect N]
     vecycle postcopy --size-mib 1024 --link wan-cloudnet
     vecycle consolidate [--vms 8] [--days 3]
     vecycle gang [--vms 8] [--shared 0.5]
@@ -279,6 +280,66 @@ def _cmd_migrate(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_runtime(args: argparse.Namespace) -> str:
+    """Live localhost migration(s) through the asyncio runtime."""
+    import asyncio
+
+    from repro.runtime import cross_validate, idle_vm_scenario
+    from repro.runtime.source import RetryPolicy, RuntimeConfig
+
+    strategy_names = (
+        available_strategies() if args.strategy == "all" else [args.strategy]
+    )
+    link = None if args.link == "none" else get_link(args.link)
+    config = RuntimeConfig(
+        time_scale=args.time_scale,
+        retry=RetryPolicy(max_attempts=5, base_backoff_s=0.02),
+    )
+
+    async def run_all() -> str:
+        sections = []
+        for name in strategy_names:
+            scenario = idle_vm_scenario(
+                size_mib=args.size_mib,
+                updates_percent=args.updates_percent,
+                strategy=get_strategy(name),
+                link=link,
+                seed=args.seed,
+            )
+            result = await cross_validate(scenario, config=config)
+            if args.inject_disconnect:
+                # Re-run with a mid-transfer disconnect so the retry path
+                # shows up in the metrics (daemon aborts, source resumes).
+                from repro.runtime import CheckpointDaemon, MigrationSource, SourceState
+                from repro.mem.pagestore import PageStore
+
+                pagestore = PageStore()
+                async with CheckpointDaemon(pagestore=pagestore) as daemon:
+                    if scenario.checkpoint is not None:
+                        daemon.install_checkpoint(
+                            scenario.vm_id, scenario.checkpoint,
+                            scenario.strategy.checksum,
+                        )
+                    daemon.inject_disconnect(args.inject_disconnect)
+                    source = MigrationSource(
+                        SourceState(
+                            vm_id=scenario.vm_id,
+                            hashes=scenario.current.hashes,
+                            pagestore=pagestore,
+                            dirty_slots=scenario.dirty_slots,
+                        ),
+                        scenario.strategy,
+                        config=config,
+                    )
+                    metrics = await source.migrate(daemon.host, daemon.port)
+                sections.append(metrics.report())
+            sections.append(result.runtime.report())
+            sections.append(result.report())
+        return "\n\n".join(sections)
+
+    return asyncio.run(run_all())
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``vecycle`` argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -341,6 +402,29 @@ def build_parser() -> argparse.ArgumentParser:
                     help="memory updated since the checkpoint")
     pm.add_argument("--seed", type=int, default=0)
     pm.set_defaults(func=_cmd_migrate)
+
+    pr = sub.add_parser(
+        "runtime",
+        help="live localhost migration over the asyncio runtime, "
+        "cross-validated against the analytic model",
+    )
+    pr.add_argument("--size-mib", type=int, default=16)
+    pr.add_argument(
+        "--strategy", choices=available_strategies() + ["all"], default="vecycle"
+    )
+    pr.add_argument(
+        "--link", choices=sorted(LINK_PRESETS) + ["none"], default="loopback",
+        help="link model to shape traffic with ('none' disables shaping)",
+    )
+    pr.add_argument("--updates-percent", type=float, default=1.0,
+                    help="memory updated since the destination's checkpoint")
+    pr.add_argument("--time-scale", type=float, default=0.0,
+                    help="scale modelled delays into real sleeps (0 = no sleeping)")
+    pr.add_argument("--inject-disconnect", type=int, default=0, metavar="N",
+                    help="also run a migration that loses the connection "
+                    "after N applied messages (exercises retry/resume)")
+    pr.add_argument("--seed", type=int, default=7)
+    pr.set_defaults(func=_cmd_runtime)
 
     pp = sub.add_parser("postcopy", help="post-copy migration comparison")
     pp.add_argument("--size-mib", type=int, default=1024)

@@ -21,6 +21,14 @@ from repro.core.checksum import PAGE_SIZE, ChecksumAlgorithm, MD5
 from repro.core.dedup import DEDUP_REF_BYTES
 from repro.core.transfer import TransferSet
 
+ANNOUNCE_FRAME_OVERHEAD = 5
+"""Framing overhead of one bulk-announce message on a real byte stream
+(1-byte type tag + 4-byte checksum count).  The analytic model charges
+only the checksums themselves; the live runtime
+(:mod:`repro.runtime.frames`) pays this constant on top, which is why
+cross-validation compares announce traffic with a tolerance instead of
+exact equality."""
+
 
 @dataclass(frozen=True)
 class WireFormat:
@@ -61,6 +69,32 @@ class WireFormat:
     def plain_page_message(self) -> int:
         """Bytes for a page without checksum (baseline QEMU migration)."""
         return self.header_bytes + self.page_size
+
+    def message_bytes(self, kind: str) -> int:
+        """Wire size of one data message by kind.
+
+        The live runtime's frame codec and the analytic traffic model
+        both resolve message sizes through this single table, so a
+        framing change cannot silently diverge the two paths.  Kinds:
+        ``"full"``, ``"checksum"``, ``"ref"``, ``"plain"``.
+        """
+        sizes = {
+            "full": self.full_page_message,
+            "checksum": self.checksum_message,
+            "ref": self.ref_message,
+            "plain": self.plain_page_message,
+        }
+        try:
+            return sizes[kind]
+        except KeyError:
+            known = ", ".join(sorted(sizes))
+            raise ValueError(f"unknown message kind {kind!r}; known: {known}") from None
+
+    def announce_frame_bytes(self, unique_pages: int) -> int:
+        """On-the-wire size of a framed bulk announce (runtime path)."""
+        if unique_pages < 0:
+            raise ValueError(f"unique_pages must be >= 0, got {unique_pages}")
+        return ANNOUNCE_FRAME_OVERHEAD + unique_pages * self.checksum_bytes
 
 
 @dataclass(frozen=True)

@@ -2,7 +2,7 @@
 
 from repro.mem.image import MemoryImage
 from repro.mem.mutation import boot_populate, churn, fill_ramdisk, update_region_fraction
-from repro.mem.pagestore import PageStore
+from repro.mem.pagestore import ContentAddressedStore, PageStore
 
 __all__ = [
     "MemoryImage",
@@ -10,5 +10,6 @@ __all__ = [
     "churn",
     "fill_ramdisk",
     "update_region_fraction",
+    "ContentAddressedStore",
     "PageStore",
 ]

@@ -1,6 +1,12 @@
 """QEMU-like live-migration simulator (pre-copy and post-copy)."""
 
-from repro.migration.engine import migrate_between_hosts, ping_pong
+from repro.migration.engine import (
+    TransferContext,
+    migrate_between_hosts,
+    ping_pong,
+    record_migration_outcome,
+    resolve_transfer_context,
+)
 from repro.migration.postcopy import PostcopyConfig, PostcopyReport, simulate_postcopy
 from repro.migration.precopy import PrecopyConfig, simulate_migration
 from repro.migration.report import MigrationReport, RoundStats
@@ -8,8 +14,11 @@ from repro.migration.vm import SimVM, expected_distinct
 from repro.migration.wholevm import WholeVmReport, migrate_whole_vm
 
 __all__ = [
+    "TransferContext",
     "migrate_between_hosts",
     "ping_pong",
+    "record_migration_outcome",
+    "resolve_transfer_context",
     "PostcopyConfig",
     "PostcopyReport",
     "simulate_postcopy",

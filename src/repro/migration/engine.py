@@ -11,7 +11,8 @@ hashes for the next round trip.
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import dataclass, replace
+from typing import Optional
 
 from repro.cluster.host import Host
 from repro.core.checkpoint import Checkpoint
@@ -20,6 +21,71 @@ from repro.migration.precopy import PrecopyConfig, simulate_migration
 from repro.migration.report import MigrationReport
 from repro.migration.vm import SimVM
 from repro.net.link import Link
+
+
+@dataclass(frozen=True)
+class TransferContext:
+    """Everything host state contributes to one migration's setup.
+
+    Resolved once before a migration starts and shared by both execution
+    paths: the analytic simulation (:func:`migrate_between_hosts`) and
+    the live runtime (:mod:`repro.runtime`), which maps ``checkpoint``
+    to an installed daemon checkpoint and ``announce_known`` to the
+    source's ``known_remote_digests``.
+    """
+
+    checkpoint: Optional[Checkpoint]
+    announce_known: bool
+
+
+def resolve_transfer_context(
+    vm: SimVM,
+    source: Host,
+    destination: Host,
+    strategy: MigrationStrategy,
+    config: PrecopyConfig = PrecopyConfig(),
+) -> TransferContext:
+    """Resolve checkpoint reuse and the ping-pong shortcut for one move.
+
+    The destination contributes its stored checkpoint (if the strategy
+    reuses one); the source contributes whether it already knows the
+    destination's page hashes from a previous opposite-direction
+    migration (§3.2), which suppresses the bulk announce.
+    """
+    if source is destination:
+        raise ValueError("source and destination must differ")
+    checkpoint = (
+        destination.checkpoint_for(vm.vm_id) if strategy.reuses_checkpoint else None
+    )
+    return TransferContext(
+        checkpoint=checkpoint,
+        announce_known=config.announce_known
+        or source.knows_peer_hashes(vm.vm_id, destination.name),
+    )
+
+
+def record_migration_outcome(
+    vm: SimVM, source: Host, destination: Host
+) -> Checkpoint:
+    """Post-migration bookkeeping shared by the simulated and live paths.
+
+    The source stores a checkpoint of the outgoing VM (the paper's core
+    mechanism) together with the generation vector Miyakodori needs —
+    captured at the end of the migration, identical to what the
+    destination now holds.  Both hosts then remember each other's page
+    hashes: the receiver tracked incoming checksums, the sender knows
+    what it just sent (§3.2), which is what makes the next migration's
+    announce unnecessary.
+    """
+    checkpoint = Checkpoint(
+        vm_id=vm.vm_id,
+        fingerprint=vm.fingerprint(),
+        generation_vector=vm.tracker.snapshot(),
+    )
+    source.save_checkpoint(checkpoint)
+    destination.learn_peer_hashes(vm.vm_id, source.name)
+    source.learn_peer_hashes(vm.vm_id, destination.name)
+    return checkpoint
 
 
 def migrate_between_hosts(
@@ -38,43 +104,17 @@ def migrate_between_hosts(
 
     Returns the :class:`~repro.migration.report.MigrationReport`.
     """
-    if source is destination:
-        raise ValueError("source and destination must differ")
-    checkpoint = (
-        destination.checkpoint_for(vm.vm_id) if strategy.reuses_checkpoint else None
-    )
-    effective_config = replace(
-        config,
-        announce_known=config.announce_known
-        or source.knows_peer_hashes(vm.vm_id, destination.name),
-    )
+    context = resolve_transfer_context(vm, source, destination, strategy, config)
     report = simulate_migration(
         vm,
         strategy,
         link,
-        checkpoint=checkpoint,
+        checkpoint=context.checkpoint,
         dest_disk=destination.disk,
         source_disk=source.disk,
-        config=effective_config,
+        config=replace(config, announce_known=context.announce_known),
     )
-
-    # The source stores a checkpoint of the outgoing VM (the paper's
-    # core mechanism) together with the generation vector Miyakodori
-    # needs.  State is captured at the end of the migration — identical
-    # to what the destination now holds.
-    final = vm.fingerprint()
-    source.save_checkpoint(
-        Checkpoint(
-            vm_id=vm.vm_id,
-            fingerprint=final,
-            generation_vector=vm.tracker.snapshot(),
-        )
-    )
-    # §3.2: the receiver tracked incoming page checksums, so it now
-    # knows the set of pages existing at the source; the sender knows
-    # what it just sent to the destination.
-    destination.learn_peer_hashes(vm.vm_id, source.name)
-    source.learn_peer_hashes(vm.vm_id, destination.name)
+    record_migration_outcome(vm, source, destination)
     return report
 
 

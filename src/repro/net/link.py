@@ -63,15 +63,24 @@ class Link:
             return line_rate
         return min(line_rate, self.tcp_window_bytes / self.rtt_s)
 
+    def serialization_delay(self, num_bytes: int) -> float:
+        """Seconds to put ``num_bytes`` on the wire, no handshake.
+
+        This is the incremental cost the live runtime's
+        :class:`~repro.runtime.shaping.ShapedStream` charges per write;
+        :meth:`transfer_time` is this plus one connection round trip.
+        """
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be >= 0, got {num_bytes}")
+        return num_bytes / self.effective_bandwidth
+
     def transfer_time(self, num_bytes: int) -> float:
         """Seconds to stream ``num_bytes`` over one connection.
 
         One connection-setup round trip plus serialization at the
         effective bandwidth.  Zero bytes still pay the handshake.
         """
-        if num_bytes < 0:
-            raise ValueError(f"num_bytes must be >= 0, got {num_bytes}")
-        return self.rtt_s + num_bytes / self.effective_bandwidth
+        return self.rtt_s + self.serialization_delay(num_bytes)
 
     def request_response_time(self, request_bytes: int, response_bytes: int) -> float:
         """Seconds for one synchronous request/response exchange.
@@ -104,8 +113,15 @@ LAN_40GBE = Link(name="lan-40gbe", bandwidth_bps=40e9, latency_s=0.0001,
                  tcp_window_bytes=16 * 1024 * 1024)
 """40 GbE — ditto."""
 
+LOOPBACK = Link(name="loopback", bandwidth_bps=400e9, latency_s=0.0,
+                efficiency=1.0, tcp_window_bytes=1 << 30)
+"""An effectively unconstrained in-host path: zero propagation delay,
+line-rate payload.  The live runtime uses it when a migration should run
+as fast as the machine allows (no traffic shaping)."""
+
 PRESETS = {
-    link.name: link for link in (LAN_1GBE, WAN_CLOUDNET, LAN_10GBE, LAN_40GBE)
+    link.name: link
+    for link in (LAN_1GBE, WAN_CLOUDNET, LAN_10GBE, LAN_40GBE, LOOPBACK)
 }
 
 

@@ -1,0 +1,460 @@
+"""The per-host checkpoint daemon: the receiving end of live migrations.
+
+One :class:`CheckpointDaemon` plays the role a VeCycle-enabled
+hypervisor host plays in the paper's prototype (§4.1): it keeps a
+checkpoint for every VM that ever left it, serves the §3.2 bulk
+checksum announce to incoming migration sources, merges the incoming
+message stream per Listing 1 (in-place reuse when the local page
+already matches, content-store lookup for relocated pages), verifies
+the final image, and stores the result as the next checkpoint — which
+is what makes back-to-back ping-pong migrations recycle state.
+
+Pages live in one host-wide content-addressed store
+(:class:`~repro.mem.pagestore.ContentAddressedStore`), so checkpoints
+of many VMs share storage for common pages and any announced checksum
+resolves to bytes in O(1).
+
+Robustness: sessions survive connection loss.  A source that reconnects
+with the same session token gets told exactly how far the previous
+attempt got (round number + messages applied) and resumes from there;
+a completed session replays its RESULT idempotently.  Test hooks can
+inject mid-transfer disconnects to exercise exactly that path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.checksum import ChecksumAlgorithm, MD5, get_algorithm
+from repro.core.fingerprint import Fingerprint
+from repro.core.protocol import WireFormat
+from repro.core.transfer import Method
+from repro.mem.pagestore import ContentAddressedStore, PageStore
+from repro.net.link import Link
+from repro.runtime.frames import (
+    Frame,
+    FrameCodec,
+    FrameError,
+    TYPE_COMPLETE,
+    TYPE_HELLO,
+    TYPE_PAGE_CHECKSUM,
+    TYPE_PAGE_FULL,
+    TYPE_PAGE_PLAIN,
+    TYPE_PAGE_REF,
+    TYPE_ROUND,
+)
+from repro.runtime.shaping import ShapedStream
+
+_MAX_RETAINED_SESSIONS = 64
+
+
+class SinkProtocolError(RuntimeError):
+    """The incoming stream violated the protocol (non-retryable)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.detail = message
+
+
+@dataclass
+class HostedCheckpoint:
+    """A checkpoint as the daemon stores it: per-slot page checksums.
+
+    The page *bytes* live in the host-wide content store; the checkpoint
+    itself is just the slot → checksum map plus bookkeeping, mirroring
+    the paper's split between the checkpoint file and its in-memory
+    checksum index (§3.3).
+    """
+
+    vm_id: str
+    slot_digests: List[bytes]
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.slot_digests)
+
+    def announce_digests(self) -> List[bytes]:
+        """Sorted distinct checksums — the §3.2 bulk announce body."""
+        return sorted(set(self.slot_digests))
+
+
+class _SinkSession:
+    """Receiver state for one migration, persistent across reconnects."""
+
+    def __init__(
+        self,
+        session_id: str,
+        vm_id: str,
+        num_pages: int,
+        method: Method,
+        algorithm: ChecksumAlgorithm,
+        store: ContentAddressedStore,
+        preload: Optional[HostedCheckpoint],
+    ) -> None:
+        self.session_id = session_id
+        self.vm_id = vm_id
+        self.num_pages = num_pages
+        self.method = method
+        self.algorithm = algorithm
+        self.store = store
+        self.slot_digests: List[Optional[bytes]] = (
+            list(preload.slot_digests) if preload else [None] * num_pages
+        )
+        self.round_no = 1
+        self.applied_in_round = 0
+        self.total_applied = 0
+        self.announce_acked = False
+        self.completed = False
+        self.result: Optional[dict] = None
+        self.reused_in_place = 0
+        self.reused_from_store = 0
+        self.pages_received = 0
+        self.rx_payload_bytes = 0
+
+    def apply(self, frame: Frame) -> None:
+        """Merge one data frame (Listing 1, content-store edition)."""
+        slot = frame.page_no
+        if not 0 <= slot < self.num_pages:
+            raise SinkProtocolError(
+                "bad-slot", f"page number {slot} outside [0, {self.num_pages})"
+            )
+        if frame.type == TYPE_PAGE_PLAIN:
+            digest = self.algorithm.digest(frame.payload)
+            self.store.put(digest, frame.payload)
+            self.slot_digests[slot] = digest
+        elif frame.type == TYPE_PAGE_FULL:
+            # §3.2: the attached checksum saves the receiver from
+            # re-hashing the page; the sender is trusted here exactly as
+            # in the prototype.
+            self.store.put(frame.digest, frame.payload)
+            self.slot_digests[slot] = frame.digest
+        elif frame.type == TYPE_PAGE_CHECKSUM:
+            if self.slot_digests[slot] == frame.digest:
+                self.reused_in_place += 1
+            else:
+                if frame.digest not in self.store:
+                    raise SinkProtocolError(
+                        "missing-content",
+                        f"page {slot}: checksum announced but absent from "
+                        "the content store",
+                    )
+                self.slot_digests[slot] = frame.digest
+                self.reused_from_store += 1
+        elif frame.type == TYPE_PAGE_REF:
+            if not 0 <= frame.ref < self.num_pages:
+                raise SinkProtocolError(
+                    "bad-ref", f"dedup reference to slot {frame.ref} out of range"
+                )
+            target = self.slot_digests[frame.ref]
+            if target is None:
+                raise SinkProtocolError(
+                    "bad-ref",
+                    f"page {slot}: dedup reference to slot {frame.ref}, "
+                    "which has not been received",
+                )
+            self.slot_digests[slot] = target
+        else:  # pragma: no cover - the connection loop filters types
+            raise SinkProtocolError("bad-frame", f"unexpected frame {frame.name}")
+        self.pages_received += 1
+        self.rx_payload_bytes += frame.wire_bytes
+        self.applied_in_round += 1
+        self.total_applied += 1
+
+    def verification_digest(self) -> bytes:
+        """Digest over the per-slot digests — the end-to-end image check."""
+        blob = b"".join(d if d is not None else b"\x00" for d in self.slot_digests)
+        return self.algorithm.digest(blob)
+
+    def finish(self, frame: Frame) -> dict:
+        """Handle COMPLETE: verify the image and freeze the result."""
+        missing = sum(1 for d in self.slot_digests if d is None)
+        ok = missing == 0 and self.verification_digest() == frame.digest
+        self.result = {
+            "ok": ok,
+            "pages_received": self.pages_received,
+            "reused_in_place": self.reused_in_place,
+            "reused_from_store": self.reused_from_store,
+            "unique_contents": len(set(self.slot_digests)),
+            "rounds": self.round_no,
+            "error": None
+            if ok
+            else (
+                f"{missing} slots never received"
+                if missing
+                else "final image digest mismatch"
+            ),
+        }
+        self.completed = True
+        return self.result
+
+
+@dataclass
+class _FaultPlan:
+    """Test hook: abort the connection after N applied messages."""
+
+    after_messages: int
+    times: int
+
+
+class CheckpointDaemon:
+    """Asyncio TCP server hosting checkpoints and receiving migrations.
+
+    Args:
+        name: Host label, used in logs and metrics.
+        link: Traffic shaping for the daemon's sends (the announce and
+            result travel destination → source); None for unshaped.
+        time_scale: See :class:`~repro.runtime.shaping.ShapedStream`.
+        io_timeout_s: Per-read timeout; a stalled source cannot wedge a
+            handler task forever.
+        pagestore: Deterministic id → bytes expander used to preload
+            checkpoints installed from fingerprints.
+    """
+
+    def __init__(
+        self,
+        name: str = "host",
+        link: Optional[Link] = None,
+        time_scale: float = 1.0,
+        io_timeout_s: float = 30.0,
+        pagestore: Optional[PageStore] = None,
+    ) -> None:
+        self.name = name
+        self.link = link
+        self.time_scale = time_scale
+        self.io_timeout_s = io_timeout_s
+        self.pagestore = pagestore or PageStore()
+        self.store = ContentAddressedStore()
+        self.checkpoints: Dict[str, HostedCheckpoint] = {}
+        self._sessions: "OrderedDict[str, _SinkSession]" = OrderedDict()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._fault: Optional[_FaultPlan] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+
+    # --- lifecycle ------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Bind and listen; returns the (host, port) actually bound."""
+        if self._server is not None:
+            raise RuntimeError("daemon already started")
+        self._server = await asyncio.start_server(self._on_connection, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        """Stop listening and drop connection handlers."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "CheckpointDaemon":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.stop()
+
+    # --- checkpoint hosting --------------------------------------------
+
+    def install_checkpoint(
+        self,
+        vm_id: str,
+        fingerprint: Fingerprint,
+        algorithm: ChecksumAlgorithm = MD5,
+    ) -> HostedCheckpoint:
+        """Host a checkpoint given as a fingerprint (demo/test setup).
+
+        Materializes each distinct content once into the shared content
+        store — the runtime equivalent of the destination's sequential
+        checkpoint read that hashes every block (§3.3).
+        """
+        slot_digests: List[bytes] = []
+        for content_id in np.asarray(fingerprint.hashes, dtype=np.uint64):
+            digest = self.pagestore.digest_for(int(content_id), algorithm)
+            if digest not in self.store:
+                self.store.put(digest, self.pagestore.page_bytes(int(content_id)))
+            slot_digests.append(digest)
+        hosted = HostedCheckpoint(vm_id=vm_id, slot_digests=slot_digests)
+        self.checkpoints[vm_id] = hosted
+        return hosted
+
+    def checkpoint_digests(self, vm_id: str) -> Optional[frozenset]:
+        """Distinct checksums of the hosted checkpoint (ping-pong state)."""
+        hosted = self.checkpoints.get(vm_id)
+        if hosted is None:
+            return None
+        return frozenset(hosted.slot_digests)
+
+    # --- fault injection ------------------------------------------------
+
+    def inject_disconnect(self, after_messages: int, times: int = 1) -> None:
+        """Abort connections after ``after_messages`` total applied frames.
+
+        Used by tests and the CLI demo to exercise retry/resume: the
+        abort happens ``times`` times, then the daemon behaves normally.
+        """
+        self._fault = _FaultPlan(after_messages=after_messages, times=times)
+
+    def _should_abort(self, session: _SinkSession) -> bool:
+        fault = self._fault
+        if fault is None or fault.times <= 0:
+            return False
+        if session.total_applied >= fault.after_messages:
+            fault.times -= 1
+            return True
+        return False
+
+    # --- connection handling -------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        stream = ShapedStream(reader, writer, link=self.link,
+                              time_scale=self.time_scale)
+        try:
+            await self._serve_session(stream)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            TimeoutError,
+            asyncio.TimeoutError,
+            OSError,
+        ):
+            # Transport failure: keep the session for a resuming source.
+            pass
+        except (SinkProtocolError, FrameError) as exc:
+            await self._send_error(stream, exc)
+        finally:
+            await stream.close()
+
+    async def _send_error(self, stream: ShapedStream, exc: Exception) -> None:
+        codec = FrameCodec()
+        code = getattr(exc, "code", "protocol")
+        detail = getattr(exc, "detail", str(exc))
+        try:
+            await stream.send(codec.encode_error({"code": code, "message": detail}))
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+    def _session_for(self, hello: dict) -> Tuple[_SinkSession, FrameCodec]:
+        for key in ("session", "vm_id", "num_pages", "mode", "page_size",
+                    "digest_size", "algorithm"):
+            if key not in hello:
+                raise SinkProtocolError("bad-hello", f"missing field {key!r}")
+        try:
+            method = Method(hello["mode"])
+        except ValueError:
+            raise SinkProtocolError(
+                "bad-mode", f"unknown transfer method {hello['mode']!r}"
+            ) from None
+        algorithm = get_algorithm(hello["algorithm"])
+        if algorithm.digest_size != hello["digest_size"]:
+            raise SinkProtocolError(
+                "bad-hello",
+                f"digest size {hello['digest_size']} does not match "
+                f"{algorithm.name}",
+            )
+        wire = WireFormat(
+            page_size=int(hello["page_size"]),
+            checksum_bytes=int(hello["digest_size"]),
+        )
+        codec = FrameCodec(wire)
+        session = self._sessions.get(hello["session"])
+        if session is None:
+            num_pages = int(hello["num_pages"])
+            preload = self.checkpoints.get(hello["vm_id"])
+            if preload is not None and preload.num_pages != num_pages:
+                preload = None
+            if method.uses_dirty_tracking and preload is None:
+                raise SinkProtocolError(
+                    "no-checkpoint",
+                    "dirty-tracking migration needs a same-size checkpoint "
+                    f"for {hello['vm_id']!r} at this host",
+                )
+            session = _SinkSession(
+                session_id=hello["session"],
+                vm_id=hello["vm_id"],
+                num_pages=num_pages,
+                method=method,
+                algorithm=algorithm,
+                store=self.store,
+                preload=preload,
+            )
+            self._sessions[hello["session"]] = session
+            while len(self._sessions) > _MAX_RETAINED_SESSIONS:
+                self._sessions.popitem(last=False)
+        return session, codec
+
+    async def _serve_session(self, stream: ShapedStream) -> None:
+        codec = FrameCodec()
+        recv = stream.recv_with_timeout(self.io_timeout_s)
+        hello = await codec.read_frame(recv)
+        if hello.type != TYPE_HELLO:
+            raise SinkProtocolError("bad-hello", f"expected HELLO, got {hello.name}")
+        session, codec = self._session_for(hello.body)
+        recv = stream.recv_with_timeout(self.io_timeout_s)
+
+        if session.completed:
+            await stream.send(codec.encode_ready(session.round_no,
+                                                 session.applied_in_round,
+                                                 False, True))
+            await stream.send(codec.encode_result(session.result))
+            return
+
+        announce_follows = (
+            session.method.uses_hashes
+            and not session.announce_acked
+            and not hello.body.get("announce_known", False)
+        )
+        await stream.send(
+            codec.encode_ready(
+                session.round_no, session.applied_in_round, announce_follows, False
+            )
+        )
+        if announce_follows:
+            hosted = self.checkpoints.get(session.vm_id)
+            digests = hosted.announce_digests() if hosted is not None else []
+            await stream.send(codec.encode_announce(digests))
+
+        while True:
+            frame = await codec.read_frame(recv)
+            if frame.type == TYPE_ROUND:
+                session.announce_acked = True
+                if frame.round_no != session.round_no:
+                    session.round_no = frame.round_no
+                    session.applied_in_round = 0
+                received = 0
+                while received < frame.count:
+                    page = await codec.read_frame(recv)
+                    if page.type not in (TYPE_PAGE_FULL, TYPE_PAGE_CHECKSUM,
+                                         TYPE_PAGE_REF, TYPE_PAGE_PLAIN):
+                        raise SinkProtocolError(
+                            "bad-frame",
+                            f"expected a page frame mid-round, got {page.name}",
+                        )
+                    session.apply(page)
+                    received += 1
+                    if self._should_abort(session):
+                        stream.abort()
+                        return
+            elif frame.type == TYPE_COMPLETE:
+                result = session.finish(frame)
+                if result["ok"]:
+                    self.checkpoints[session.vm_id] = HostedCheckpoint(
+                        vm_id=session.vm_id,
+                        slot_digests=list(session.slot_digests),
+                    )
+                await stream.send(codec.encode_result(result))
+                return
+            else:
+                raise SinkProtocolError(
+                    "bad-frame", f"unexpected frame {frame.name} between rounds"
+                )

@@ -1,0 +1,177 @@
+"""Structured per-migration metrics for the live runtime.
+
+The analytic :class:`~repro.migration.report.MigrationReport` records
+*predicted* quantities; :class:`MigrationMetrics` records what one live
+migration actually did on the socket — bytes and message counts by
+frame type, per-round progress, retries, wall-clock versus modelled
+time — in a shape the cross-validation harness can compare against the
+analytic prediction field by field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+MIB = 2**20
+
+
+@dataclass
+class RoundMetrics:
+    """One transfer round as observed on the wire."""
+
+    round_no: int
+    messages: int = 0
+    bytes_sent: int = 0
+    duration_s: float = 0.0
+
+
+@dataclass
+class MigrationMetrics:
+    """Everything measured about one live migration attempt chain.
+
+    Attributes:
+        vm_id / mode / link: What migrated, how, and over which link.
+        bytes_by_type: Payload bytes by data-frame kind ("full",
+            "checksum", "ref", "plain") — the runtime counterpart of the
+            analytic payload split.
+        messages_by_type: Message counts by the same kinds.
+        announce_bytes: Destination → source bulk-announce traffic
+            (framed; 0 under the ping-pong shortcut).
+        control_bytes: HELLO/READY/ROUND/COMPLETE/RESULT framing — the
+            runtime-only overhead the analytic model ignores.
+        retries: Reconnection attempts after transport failures.
+        retransmitted_bytes: Payload bytes sent more than once because a
+            retry resumed mid-round.
+        pages_*: First-round transfer-set composition, matching
+            :class:`~repro.core.transfer.TransferSet` semantics.
+        checksummed_pages: Pages the source had to hash (the CPU cost
+            dirty tracking saves, §4.3).
+        wall_time_s: Real elapsed time, including retry backoff.
+        modelled_time_s: The link model's full-scale clock for the same
+            transfer — what the run *would* take at ``time_scale=1``.
+        outcome: "completed" or "failed".
+        error: Structured failure description when ``outcome="failed"``.
+    """
+
+    vm_id: str
+    mode: str
+    link: str
+    bytes_by_type: Dict[str, int] = field(default_factory=dict)
+    messages_by_type: Dict[str, int] = field(default_factory=dict)
+    announce_bytes: int = 0
+    control_bytes: int = 0
+    retries: int = 0
+    retransmitted_bytes: int = 0
+    pages_full: int = 0
+    pages_ref: int = 0
+    pages_checksum_only: int = 0
+    pages_skipped: int = 0
+    checksummed_pages: int = 0
+    rounds: List[RoundMetrics] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    modelled_time_s: float = 0.0
+    outcome: str = "pending"
+    error: Optional[str] = None
+    sink_stats: Dict[str, Any] = field(default_factory=dict)
+
+    def count(self, kind: str, num_bytes: int) -> None:
+        """Record one sent data frame of ``kind``."""
+        self.bytes_by_type[kind] = self.bytes_by_type.get(kind, 0) + num_bytes
+        self.messages_by_type[kind] = self.messages_by_type.get(kind, 0) + 1
+
+    @property
+    def payload_bytes(self) -> int:
+        """Source → destination data-frame bytes (all rounds)."""
+        return sum(self.bytes_by_type.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes the migration put on the wire, both directions."""
+        return self.payload_bytes + self.announce_bytes + self.control_bytes
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def messages(self) -> int:
+        return sum(self.messages_by_type.values())
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly flat view (CLI ``--json`` and log shipping)."""
+        return {
+            "vm_id": self.vm_id,
+            "mode": self.mode,
+            "link": self.link,
+            "outcome": self.outcome,
+            "error": self.error,
+            "payload_bytes": self.payload_bytes,
+            "announce_bytes": self.announce_bytes,
+            "control_bytes": self.control_bytes,
+            "total_bytes": self.total_bytes,
+            "bytes_by_type": dict(self.bytes_by_type),
+            "messages_by_type": dict(self.messages_by_type),
+            "rounds": [
+                {
+                    "round_no": r.round_no,
+                    "messages": r.messages,
+                    "bytes": r.bytes_sent,
+                    "duration_s": r.duration_s,
+                }
+                for r in self.rounds
+            ],
+            "retries": self.retries,
+            "retransmitted_bytes": self.retransmitted_bytes,
+            "pages": {
+                "full": self.pages_full,
+                "ref": self.pages_ref,
+                "checksum_only": self.pages_checksum_only,
+                "skipped": self.pages_skipped,
+                "checksummed": self.checksummed_pages,
+            },
+            "wall_time_s": self.wall_time_s,
+            "modelled_time_s": self.modelled_time_s,
+            "sink": dict(self.sink_stats),
+        }
+
+    def report(self) -> str:
+        """Multi-line human-readable report for the CLI."""
+        lines = [
+            f"runtime migration  vm={self.vm_id}  mode={self.mode}  "
+            f"link={self.link}  -> {self.outcome}"
+        ]
+        if self.error:
+            lines.append(f"  error: {self.error}")
+        lines.append(
+            f"  time: wall={self.wall_time_s:.3f}s  "
+            f"modelled={self.modelled_time_s:.3f}s  "
+            f"rounds={self.num_rounds}  retries={self.retries}"
+        )
+        lines.append(
+            f"  traffic: payload={self.payload_bytes / MIB:.3f} MiB  "
+            f"announce={self.announce_bytes / MIB:.3f} MiB  "
+            f"control={self.control_bytes} B  "
+            f"retransmit={self.retransmitted_bytes} B"
+        )
+        per_type = "  ".join(
+            f"{kind}={self.messages_by_type[kind]} ({self.bytes_by_type[kind]} B)"
+            for kind in sorted(self.messages_by_type)
+        )
+        if per_type:
+            lines.append(f"  messages: {per_type}")
+        lines.append(
+            f"  pages: full={self.pages_full}  ref={self.pages_ref}  "
+            f"checksum-only={self.pages_checksum_only}  "
+            f"skipped={self.pages_skipped}  hashed={self.checksummed_pages}"
+        )
+        if self.sink_stats:
+            lines.append(
+                "  sink: reused-in-place={in_place}  reused-from-store={store}  "
+                "unique-contents={unique}".format(
+                    in_place=self.sink_stats.get("reused_in_place", 0),
+                    store=self.sink_stats.get("reused_from_store", 0),
+                    unique=self.sink_stats.get("unique_contents", 0),
+                )
+            )
+        return "\n".join(lines)

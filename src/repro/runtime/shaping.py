@@ -1,0 +1,141 @@
+"""Traffic-shaped asyncio streams.
+
+The paper's testbed pins down two environments — the gigabit LAN and a
+``netem``-emulated CloudNet WAN (§4.1/§4.4).  :class:`ShapedStream` is
+the in-process equivalent of that ``netem`` box: it wraps an asyncio
+reader/writer pair and paces writes so one connection experiences
+exactly the :class:`~repro.net.link.Link` cost model the analytic path
+uses — connection setup pays one RTT, serialization runs at
+``link.effective_bandwidth`` (which already encodes the TCP window/RTT
+ceiling that makes the emulated WAN ~6 MiB/s despite its 465 Mbit/s
+line rate).
+
+Runs are reproducible because the delays derive from the deterministic
+link model, not from kernel scheduling: the same scenario over
+``lan-1gbe`` and ``wan-cloudnet`` differs by the modelled factor.  A
+``time_scale`` below 1 compresses the sleeps for tests and demos while
+the *modelled* clock keeps full-scale seconds; ``time_scale=0`` keeps
+the accounting but never sleeps.
+
+Backpressure is real, not modelled: every send drains the transport, so
+a slow receiver stalls the sender through the kernel socket buffers
+plus asyncio's write high-water mark.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.net.link import Link
+
+_PACING_QUANTUM_S = 0.005
+"""Sleep only once at least this much serialization debt accumulated —
+pacing per 4 KiB frame would drown in event-loop overhead."""
+
+_WRITE_BUFFER_LIMIT = 256 * 1024
+
+
+class ShapedStream:
+    """An asyncio byte stream with link-model pacing and byte accounting.
+
+    Args:
+        reader: The connection's ``StreamReader``.
+        writer: The connection's ``StreamWriter``.
+        link: Cost model to enforce on writes; None disables shaping
+            (loopback-fast, still counted).
+        time_scale: Multiplier on real sleeps.  1.0 reproduces modelled
+            wall time, 0.0 disables sleeping entirely; either way
+            :attr:`modelled_tx_s` advances by the full modelled amount.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        link: Optional[Link] = None,
+        time_scale: float = 1.0,
+    ) -> None:
+        if time_scale < 0:
+            raise ValueError(f"time_scale must be >= 0, got {time_scale}")
+        self.reader = reader
+        self.writer = writer
+        self.link = link
+        self.time_scale = time_scale
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+        self.modelled_tx_s = 0.0
+        self._debt_s = 0.0
+        try:
+            writer.transport.set_write_buffer_limits(high=_WRITE_BUFFER_LIMIT)
+        except (AttributeError, NotImplementedError):  # pragma: no cover
+            pass
+
+    async def send(self, data: bytes) -> None:
+        """Write ``data``, pacing to the link model and draining."""
+        self.writer.write(data)
+        self.tx_bytes += len(data)
+        if self.link is not None:
+            delay = self.link.serialization_delay(len(data))
+            self.modelled_tx_s += delay
+            self._debt_s += delay
+            if self._debt_s >= _PACING_QUANTUM_S:
+                owed, self._debt_s = self._debt_s, 0.0
+                if self.time_scale > 0:
+                    await asyncio.sleep(owed * self.time_scale)
+        await self.writer.drain()
+
+    async def recv(self, num_bytes: int) -> bytes:
+        """Read exactly ``num_bytes`` (raises ``IncompleteReadError`` on EOF)."""
+        data = await self.reader.readexactly(num_bytes)
+        self.rx_bytes += len(data)
+        return data
+
+    def recv_with_timeout(self, timeout_s: Optional[float]):
+        """A ``recv``-shaped callable enforcing a per-read timeout.
+
+        Frame decoding issues several small reads per frame; the timeout
+        bounds each one, so a silent peer can never hang a migration.
+        """
+
+        async def recv(num_bytes: int) -> bytes:
+            if timeout_s is None:
+                return await self.recv(num_bytes)
+            return await asyncio.wait_for(self.recv(num_bytes), timeout_s)
+
+        return recv
+
+    def abort(self) -> None:
+        """Tear the connection down immediately (fault injection)."""
+        self.writer.transport.abort()
+
+    async def close(self) -> None:
+        """Close the writer, swallowing already-broken-pipe noise."""
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+
+async def open_shaped_connection(
+    host: str,
+    port: int,
+    link: Optional[Link] = None,
+    time_scale: float = 1.0,
+    connect_timeout_s: Optional[float] = None,
+) -> ShapedStream:
+    """Connect to ``host:port`` and wrap the stream in a :class:`ShapedStream`.
+
+    Connection setup pays the link's round trip (the handshake the
+    analytic :meth:`~repro.net.link.Link.transfer_time` charges).
+    """
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), connect_timeout_s
+    )
+    stream = ShapedStream(reader, writer, link=link, time_scale=time_scale)
+    if link is not None and link.rtt_s > 0:
+        stream.modelled_tx_s += link.rtt_s
+        if time_scale > 0:
+            await asyncio.sleep(link.rtt_s * time_scale)
+    return stream

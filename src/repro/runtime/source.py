@@ -1,0 +1,420 @@
+"""The sending side of a live migration.
+
+:class:`MigrationSource` drives the VeCycle protocol over a real
+socket: HELLO/READY handshake, the §3.2 bulk checksum announce (or the
+§3.3 ping-pong shortcut that skips it), a planned first round that
+sends only content the destination is missing, optional pre-copy style
+dirty rounds, and a verified COMPLETE/RESULT finish.
+
+Failure handling is the part the analytic model has no opinion about:
+every read is bounded by a timeout, transport failures are retried with
+exponential backoff, and a reconnect *resumes* — the destination's
+READY frame reports exactly how many messages of which round it
+applied, and because every round's message sequence is frozen at plan
+time in deterministic slot order, "skip the first N messages of round
+R" reconstructs the stream position without renegotiation.  Protocol
+errors (an ERROR frame, a failed image verification) are never retried;
+they surface as a structured :class:`MigrationError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.strategies import MigrationStrategy
+from repro.mem.pagestore import PageStore
+from repro.net.link import Link
+from repro.runtime.frames import (
+    FrameCodec,
+    FrameError,
+    TYPE_ANNOUNCE,
+    TYPE_READY,
+    TYPE_RESULT,
+    expect_frame,
+)
+from repro.runtime.metrics import MigrationMetrics, RoundMetrics
+from repro.runtime.planner import (
+    KIND_CHECKSUM,
+    KIND_FULL,
+    KIND_NAMES,
+    KIND_PLAIN,
+    KIND_REF,
+    PageSend,
+    plan_dirty_round,
+    plan_first_round,
+)
+from repro.runtime.shaping import ShapedStream, open_shaped_connection
+
+_TRANSPORT_ERRORS = (
+    ConnectionError,
+    asyncio.IncompleteReadError,
+    asyncio.TimeoutError,
+    TimeoutError,
+    OSError,
+)
+
+DirtyFeed = Callable[[int], Optional[Sequence[int]]]
+"""Called once per completed round with the next round number; returns
+the slots dirtied since the previous round (after updating the source
+state's ``hashes`` in place), or None/empty when the VM can stop."""
+
+
+class MigrationError(RuntimeError):
+    """A migration failed in a way retrying cannot fix (or retries ran out).
+
+    Attributes:
+        code: Stable machine-readable failure class ("transport",
+            "protocol", "verification", "rejected").
+        metrics: The metrics collected up to the failure, outcome
+            already marked "failed".
+    """
+
+    def __init__(self, code: str, message: str,
+                 metrics: Optional[MigrationMetrics] = None) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.detail = message
+        self.metrics = metrics
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded reconnect policy with exponential backoff."""
+
+    max_attempts: int = 4
+    base_backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def backoff(self, retry_index: int) -> float:
+        """Sleep before retry number ``retry_index`` (0-based)."""
+        return min(
+            self.base_backoff_s * self.backoff_factor**retry_index,
+            self.max_backoff_s,
+        )
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs shared by source-side runtime operations."""
+
+    io_timeout_s: float = 10.0
+    connect_timeout_s: float = 5.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    time_scale: float = 0.0
+    chunk_bytes: int = 64 * 1024
+
+
+@dataclass
+class SourceState:
+    """What the source knows about the VM it is about to move.
+
+    Attributes:
+        vm_id: Stable VM identity (keys the destination's checkpoints).
+        hashes: Per-slot content ids at migration start; dirty feeds may
+            update this array in place between rounds.
+        pagestore: Expands content ids to page bytes and checksums.
+        dirty_slots: Slots written since the destination's checkpoint —
+            required by dirty-tracking methods, ignored otherwise.
+        known_remote_digests: The destination checkpoint's checksum set
+            if this host still remembers it from a previous migration —
+            the §3.3 ping-pong shortcut.  When set, HELLO declares the
+            announce known and the destination skips sending it.
+    """
+
+    vm_id: str
+    hashes: np.ndarray
+    pagestore: PageStore
+    dirty_slots: Optional[np.ndarray] = None
+    known_remote_digests: Optional[FrozenSet[bytes]] = None
+
+    def __post_init__(self) -> None:
+        self.hashes = np.asarray(self.hashes, dtype=np.uint64)
+
+
+class MigrationSource:
+    """Drives one VM migration to a destination daemon.
+
+    Args:
+        state: The VM being moved.
+        strategy: Transfer method + checksum algorithm + wire format
+            (the same registry entries the analytic path uses).
+        link: Traffic shaping for outgoing data; None for unshaped.
+        config: Timeouts, retry policy, pacing scale, send chunking.
+    """
+
+    def __init__(
+        self,
+        state: SourceState,
+        strategy: MigrationStrategy,
+        link: Optional[Link] = None,
+        config: Optional[RuntimeConfig] = None,
+    ) -> None:
+        self.state = state
+        self.strategy = strategy
+        self.link = link
+        self.config = config or RuntimeConfig()
+        self.codec = FrameCodec(strategy.wire)
+        self.session_id = f"{state.vm_id}-{uuid.uuid4().hex[:12]}"
+        self._rounds: List[List[PageSend]] = []
+        self._plan = None
+        self._feed_done = False
+        self._counted: Dict[int, int] = {}
+        self._final_result: Optional[dict] = None
+
+    # --- planning -------------------------------------------------------
+
+    def _digest_of(self, content_id: int) -> bytes:
+        return self.state.pagestore.digest_for(content_id, self.strategy.checksum)
+
+    def _build_first_round(self, announced: FrozenSet[bytes]) -> None:
+        if self._plan is not None:
+            return
+        self._plan = plan_first_round(
+            self.strategy.method,
+            self.state.hashes,
+            announced=announced if self.strategy.method.uses_hashes else None,
+            digest_of=self._digest_of if self.strategy.method.uses_hashes else None,
+            dirty_slots=self.state.dirty_slots,
+        )
+        self._rounds = [self._plan.sends()]
+
+    def _ensure_round(self, round_no: int, dirty_feed: Optional[DirtyFeed]) -> bool:
+        """Extend the frozen round list up to ``round_no`` if the VM keeps
+        dirtying pages; returns False when there is no such round."""
+        while len(self._rounds) < round_no:
+            if dirty_feed is None or self._feed_done:
+                return False
+            slots = dirty_feed(len(self._rounds) + 1)
+            if slots is None or len(slots) == 0:
+                self._feed_done = True
+                return False
+            self._rounds.append(
+                plan_dirty_round(self.state.hashes, np.asarray(slots, dtype=np.int64))
+            )
+        return True
+
+    def _final_slot_digests(self) -> List[bytes]:
+        """Per-slot digests of the image after all planned rounds."""
+        final = self._plan.content_ids.copy()
+        for sends in self._rounds[1:]:
+            for send in sends:
+                final[send.slot] = send.content_id
+        return [self._digest_of(int(cid)) for cid in final]
+
+    # --- the protocol ---------------------------------------------------
+
+    async def migrate(
+        self,
+        host: str,
+        port: int,
+        dirty_feed: Optional[DirtyFeed] = None,
+    ) -> MigrationMetrics:
+        """Run the migration; returns metrics or raises :class:`MigrationError`.
+
+        The call either completes (metrics outcome "completed") or fails
+        with a structured error after bounded retries — it cannot hang:
+        every socket read is capped by ``config.io_timeout_s``.
+        """
+        metrics = MigrationMetrics(
+            vm_id=self.state.vm_id,
+            mode=self.strategy.name,
+            link=self.link.name if self.link else "unshaped",
+        )
+        started = time.monotonic()
+        retry_index = 0
+        try:
+            while True:
+                try:
+                    await self._attempt(host, port, metrics, dirty_feed)
+                    break
+                except _TRANSPORT_ERRORS as exc:
+                    if retry_index + 1 >= self.config.retry.max_attempts:
+                        raise MigrationError(
+                            "transport",
+                            f"gave up after {retry_index + 1} attempts: "
+                            f"{type(exc).__name__}: {exc}",
+                        ) from exc
+                    metrics.retries += 1
+                    await asyncio.sleep(self.config.retry.backoff(retry_index))
+                    retry_index += 1
+        except MigrationError as exc:
+            metrics.outcome = "failed"
+            metrics.error = str(exc)
+            metrics.wall_time_s = time.monotonic() - started
+            exc.metrics = metrics
+            raise
+        except FrameError as exc:
+            metrics.outcome = "failed"
+            metrics.error = f"[protocol] {exc}"
+            metrics.wall_time_s = time.monotonic() - started
+            raise MigrationError("protocol", str(exc), metrics) from exc
+
+        metrics.outcome = "completed"
+        metrics.wall_time_s = time.monotonic() - started
+        if self._plan is not None:
+            metrics.pages_full = self._plan.full_pages
+            metrics.pages_ref = self._plan.ref_pages
+            metrics.pages_checksum_only = self._plan.checksum_only_pages
+            metrics.pages_skipped = self._plan.skipped_pages
+            metrics.checksummed_pages = self._plan.checksummed_pages
+        return metrics
+
+    async def _attempt(
+        self,
+        host: str,
+        port: int,
+        metrics: MigrationMetrics,
+        dirty_feed: Optional[DirtyFeed],
+    ) -> None:
+        cfg = self.config
+        stream = await open_shaped_connection(
+            host, port, link=self.link, time_scale=cfg.time_scale,
+            connect_timeout_s=cfg.connect_timeout_s,
+        )
+        try:
+            recv = stream.recv_with_timeout(cfg.io_timeout_s)
+            announce_known = self.state.known_remote_digests is not None
+            hello = {
+                "session": self.session_id,
+                "vm_id": self.state.vm_id,
+                "num_pages": int(self.state.hashes.shape[0]),
+                "mode": self.strategy.method.value,
+                "page_size": self.codec.page_size,
+                "digest_size": self.codec.digest_size,
+                "algorithm": self.strategy.checksum.name,
+                "announce_known": announce_known,
+            }
+            frame = self.codec.encode_hello(hello)
+            await stream.send(frame)
+            metrics.control_bytes += len(frame)
+
+            ready = await expect_frame(self.codec, recv, TYPE_READY)
+            metrics.control_bytes += ready.wire_bytes
+            if ready.completed:
+                # A previous attempt's COMPLETE landed; collect the result.
+                await self._finish_result(
+                    await expect_frame(self.codec, recv, TYPE_RESULT), metrics
+                )
+                return
+
+            announced: FrozenSet[bytes] = frozenset()
+            if announce_known:
+                announced = self.state.known_remote_digests
+            if ready.announce_follows:
+                announce = await expect_frame(self.codec, recv, TYPE_ANNOUNCE)
+                metrics.announce_bytes += announce.wire_bytes
+                if not announce_known:
+                    announced = frozenset(announce.digests)
+            self._build_first_round(announced)
+
+            await self._stream_rounds(
+                stream, metrics, dirty_feed,
+                resume_round=max(int(ready.round_no), 1),
+                resume_applied=int(ready.applied),
+            )
+
+            complete = self.codec.encode_complete(
+                len(self._rounds),
+                self.strategy.checksum.digest(b"".join(self._final_slot_digests())),
+            )
+            await stream.send(complete)
+            metrics.control_bytes += len(complete)
+            await self._finish_result(
+                await expect_frame(self.codec, recv, TYPE_RESULT), metrics
+            )
+        finally:
+            metrics.modelled_time_s += stream.modelled_tx_s
+            await stream.close()
+
+    async def _stream_rounds(
+        self,
+        stream: ShapedStream,
+        metrics: MigrationMetrics,
+        dirty_feed: Optional[DirtyFeed],
+        resume_round: int,
+        resume_applied: int,
+    ) -> None:
+        cfg = self.config
+        round_no = resume_round
+        while self._ensure_round(round_no, dirty_feed):
+            sends = self._rounds[round_no - 1]
+            skip = resume_applied if round_no == resume_round else 0
+            if skip > len(sends):
+                raise MigrationError(
+                    "protocol",
+                    f"destination applied {skip} messages of round {round_no}, "
+                    f"which only has {len(sends)}",
+                )
+            remaining = sends[skip:]
+            header = self.codec.encode_round(round_no, len(remaining))
+            await stream.send(header)
+            metrics.control_bytes += len(header)
+            round_started = time.monotonic()
+            round_stats = RoundMetrics(round_no=round_no)
+            buffer = bytearray()
+            counted = self._counted.get(round_no, 0)
+            for index, send in enumerate(remaining, start=skip):
+                frame = self._encode_send(send)
+                buffer += frame
+                if index < counted:
+                    metrics.retransmitted_bytes += len(frame)
+                else:
+                    metrics.count(KIND_NAMES[send.kind], len(frame))
+                    round_stats.messages += 1
+                    round_stats.bytes_sent += len(frame)
+                    self._counted[round_no] = index + 1
+                if len(buffer) >= cfg.chunk_bytes:
+                    await stream.send(bytes(buffer))
+                    buffer.clear()
+            if buffer:
+                await stream.send(bytes(buffer))
+            round_stats.duration_s = time.monotonic() - round_started
+            if round_stats.messages:
+                metrics.rounds.append(round_stats)
+            round_no += 1
+
+    def _encode_send(self, send: PageSend) -> bytes:
+        store = self.state.pagestore
+        if send.kind == KIND_PLAIN:
+            return self.codec.encode_page_plain(
+                send.slot, store.page_bytes(send.content_id)
+            )
+        if send.kind == KIND_FULL:
+            return self.codec.encode_page_full(
+                send.slot,
+                self._digest_of(send.content_id),
+                store.page_bytes(send.content_id),
+            )
+        if send.kind == KIND_CHECKSUM:
+            return self.codec.encode_page_checksum(
+                send.slot, self._digest_of(send.content_id)
+            )
+        if send.kind == KIND_REF:
+            return self.codec.encode_page_ref(send.slot, send.ref)
+        raise MigrationError("protocol", f"unplannable send kind {send.kind}")
+
+    async def _finish_result(self, frame, metrics: MigrationMetrics) -> None:
+        metrics.control_bytes += frame.wire_bytes
+        body = frame.body or {}
+        self._final_result = body
+        metrics.sink_stats = {
+            "reused_in_place": body.get("reused_in_place", 0),
+            "reused_from_store": body.get("reused_from_store", 0),
+            "unique_contents": body.get("unique_contents", 0),
+        }
+        if not body.get("ok", False):
+            raise MigrationError(
+                "verification",
+                body.get("error") or "destination rejected the final image",
+            )

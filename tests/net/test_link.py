@@ -6,6 +6,8 @@ from repro.net.link import (
     LAN_1GBE,
     LAN_10GBE,
     LAN_40GBE,
+    LOOPBACK,
+    PRESETS,
     WAN_CLOUDNET,
     Link,
     get_link,
@@ -41,6 +43,59 @@ class TestPresets:
         with pytest.raises(KeyError):
             get_link("carrier-pigeon")
 
+    def test_every_preset_registered_under_its_own_name(self):
+        for name, link in PRESETS.items():
+            assert link.name == name
+            assert get_link(name) is link
+
+    def test_wan_anchor_effective_bandwidth(self):
+        # The §4.4 anchor: the CloudNet WAN is window/RTT-limited to
+        # about 6 MiB/s regardless of its 465 Mbit/s line rate.
+        assert 5.5 * MIB <= WAN_CLOUDNET.effective_bandwidth <= 6.5 * MIB
+        assert WAN_CLOUDNET.effective_bandwidth == pytest.approx(
+            WAN_CLOUDNET.tcp_window_bytes / WAN_CLOUDNET.rtt_s
+        )
+
+    def test_loopback_preset_is_zero_latency_line_rate(self):
+        assert LOOPBACK.latency_s == 0.0
+        assert LOOPBACK.rtt_s == 0.0
+        assert LOOPBACK.effective_bandwidth == pytest.approx(
+            LOOPBACK.bandwidth_bps / 8
+        )
+
+
+class TestZeroLatency:
+    def test_zero_latency_escapes_window_ceiling(self):
+        # window / rtt would divide by zero; the model must fall back to
+        # the line rate instead of raising or returning infinity.
+        link = Link(name="z", bandwidth_bps=1e9, latency_s=0.0, efficiency=1.0)
+        assert link.effective_bandwidth == pytest.approx(1e9 / 8)
+
+    def test_zero_latency_transfer_time_is_pure_serialization(self):
+        link = Link(name="z", bandwidth_bps=8e6, latency_s=0.0, efficiency=1.0)
+        assert link.transfer_time(1_000_000) == pytest.approx(1.0)
+        assert link.transfer_time(0) == 0.0
+
+
+class TestSerializationDelay:
+    def test_matches_transfer_time_minus_rtt(self):
+        for link in (LAN_1GBE, WAN_CLOUDNET, LOOPBACK):
+            assert link.serialization_delay(GIB) == pytest.approx(
+                link.transfer_time(GIB) - link.rtt_s
+            )
+
+    def test_additive_over_chunks(self):
+        whole = WAN_CLOUDNET.serialization_delay(10 * MIB)
+        parts = sum(WAN_CLOUDNET.serialization_delay(MIB) for _ in range(10))
+        assert whole == pytest.approx(parts)
+
+    def test_zero_bytes_is_free(self):
+        assert WAN_CLOUDNET.serialization_delay(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            WAN_CLOUDNET.serialization_delay(-1)
+
 
 class TestTransferTime:
     def test_zero_bytes_pays_handshake(self):
@@ -70,6 +125,8 @@ class TestValidation:
     def test_invalid_bandwidth(self):
         with pytest.raises(ValueError):
             Link(name="x", bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            Link(name="x", bandwidth_bps=-1e9)
 
     def test_invalid_latency(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,187 @@
+"""Unit tests for the runtime frame codec."""
+
+import asyncio
+
+import pytest
+
+from repro.core.checksum import get_algorithm
+from repro.core.protocol import ANNOUNCE_FRAME_OVERHEAD, WireFormat
+from repro.runtime.frames import (
+    Frame,
+    FrameCodec,
+    FrameError,
+    TYPE_ANNOUNCE,
+    TYPE_COMPLETE,
+    TYPE_ERROR,
+    TYPE_HELLO,
+    TYPE_PAGE_CHECKSUM,
+    TYPE_PAGE_FULL,
+    TYPE_PAGE_PLAIN,
+    TYPE_PAGE_REF,
+    TYPE_READY,
+    TYPE_ROUND,
+    expect_frame,
+)
+
+WIRE = WireFormat()
+PAGE = bytes(range(256)) * (WIRE.page_size // 256)
+DIGEST = bytes(16)
+
+
+def reader_for(blob: bytes):
+    """An ``async (n) -> bytes`` reader over an in-memory byte string."""
+    view = memoryview(blob)
+    offset = 0
+
+    async def recv(n: int) -> bytes:
+        nonlocal offset
+        if offset + n > len(view):
+            raise asyncio.IncompleteReadError(bytes(view[offset:]), n)
+        chunk = bytes(view[offset : offset + n])
+        offset += n
+        return chunk
+
+    return recv
+
+
+def roundtrip(codec: FrameCodec, encoded: bytes) -> Frame:
+    return asyncio.run(codec.read_frame(reader_for(encoded)))
+
+
+class TestPageFrameSizes:
+    """Data frames must occupy exactly the analytic message sizes."""
+
+    def test_full(self):
+        codec = FrameCodec(WIRE)
+        encoded = codec.encode_page_full(7, DIGEST, PAGE)
+        assert len(encoded) == WIRE.full_page_message == 9 + 16 + 4096
+
+    def test_checksum(self):
+        codec = FrameCodec(WIRE)
+        assert len(codec.encode_page_checksum(7, DIGEST)) == WIRE.checksum_message
+
+    def test_ref(self):
+        codec = FrameCodec(WIRE)
+        assert len(codec.encode_page_ref(7, 3)) == WIRE.ref_message == 9 + 8
+
+    def test_plain(self):
+        codec = FrameCodec(WIRE)
+        assert len(codec.encode_page_plain(7, PAGE)) == WIRE.plain_page_message
+
+    def test_announce(self):
+        codec = FrameCodec(WIRE)
+        encoded = codec.encode_announce([DIGEST] * 10)
+        assert len(encoded) == WIRE.announce_frame_bytes(10)
+        assert len(encoded) == ANNOUNCE_FRAME_OVERHEAD + 10 * 16
+
+    def test_sizes_follow_the_wire_format(self):
+        wire = WireFormat(checksum_bytes=8)
+        codec = FrameCodec(wire)
+        digest8 = bytes(8)
+        assert len(codec.encode_page_full(0, digest8, PAGE)) == wire.full_page_message
+        assert len(codec.encode_page_checksum(0, digest8)) == wire.checksum_message
+
+
+class TestRoundtrip:
+    def test_page_full(self):
+        codec = FrameCodec(WIRE)
+        digest = get_algorithm("md5").digest(PAGE)
+        frame = roundtrip(codec, codec.encode_page_full(42, digest, PAGE))
+        assert frame.type == TYPE_PAGE_FULL
+        assert frame.page_no == 42
+        assert frame.digest == digest
+        assert frame.payload == PAGE
+        assert frame.wire_bytes == WIRE.full_page_message
+
+    def test_page_checksum(self):
+        codec = FrameCodec(WIRE)
+        frame = roundtrip(codec, codec.encode_page_checksum(3, DIGEST))
+        assert (frame.type, frame.page_no, frame.digest) == (
+            TYPE_PAGE_CHECKSUM, 3, DIGEST,
+        )
+
+    def test_page_ref(self):
+        codec = FrameCodec(WIRE)
+        frame = roundtrip(codec, codec.encode_page_ref(9, 4))
+        assert (frame.type, frame.page_no, frame.ref) == (TYPE_PAGE_REF, 9, 4)
+
+    def test_page_plain(self):
+        codec = FrameCodec(WIRE)
+        frame = roundtrip(codec, codec.encode_page_plain(5, PAGE))
+        assert (frame.type, frame.page_no, frame.payload) == (
+            TYPE_PAGE_PLAIN, 5, PAGE,
+        )
+
+    def test_hello_json(self):
+        codec = FrameCodec(WIRE)
+        body = {"session": "s1", "vm_id": "vm", "num_pages": 128}
+        frame = roundtrip(codec, codec.encode_hello(body))
+        assert frame.type == TYPE_HELLO
+        assert frame.body == body
+
+    def test_ready(self):
+        codec = FrameCodec(WIRE)
+        frame = roundtrip(codec, codec.encode_ready(3, 1000, True, False))
+        assert frame.type == TYPE_READY
+        assert frame.round_no == 3
+        assert frame.applied == 1000
+        assert frame.announce_follows is True
+        assert frame.completed is False
+
+    def test_announce(self):
+        codec = FrameCodec(WIRE)
+        digests = [bytes([i]) * 16 for i in range(5)]
+        frame = roundtrip(codec, codec.encode_announce(digests))
+        assert frame.type == TYPE_ANNOUNCE
+        assert list(frame.digests) == digests
+
+    def test_round(self):
+        codec = FrameCodec(WIRE)
+        frame = roundtrip(codec, codec.encode_round(2, 777))
+        assert (frame.type, frame.round_no, frame.count) == (TYPE_ROUND, 2, 777)
+
+    def test_complete(self):
+        codec = FrameCodec(WIRE)
+        frame = roundtrip(codec, codec.encode_complete(4, DIGEST))
+        assert (frame.type, frame.count, frame.digest) == (TYPE_COMPLETE, 4, DIGEST)
+
+
+class TestErrors:
+    def test_unknown_tag(self):
+        codec = FrameCodec(WIRE)
+        with pytest.raises(FrameError, match="unknown frame type"):
+            roundtrip(codec, b"\xff")
+
+    def test_malformed_json(self):
+        codec = FrameCodec(WIRE)
+        blob = bytes((TYPE_HELLO,)) + (3).to_bytes(4, "big") + b"{{{"
+        with pytest.raises(FrameError, match="malformed JSON"):
+            roundtrip(codec, blob)
+
+    def test_oversized_json_rejected(self):
+        codec = FrameCodec(WIRE)
+        blob = bytes((TYPE_HELLO,)) + (1 << 30).to_bytes(4, "big")
+        with pytest.raises(FrameError, match="exceeds limit"):
+            roundtrip(codec, blob)
+
+    def test_expect_frame_wrong_type(self):
+        codec = FrameCodec(WIRE)
+        encoded = codec.encode_round(1, 1)
+        with pytest.raises(FrameError, match="expected ready"):
+            asyncio.run(expect_frame(codec, reader_for(encoded), TYPE_READY))
+
+    def test_expect_frame_surfaces_peer_error(self):
+        codec = FrameCodec(WIRE)
+        encoded = codec.encode_error({"code": "bad-ref", "message": "nope"})
+        with pytest.raises(FrameError, match=r"peer error \[bad-ref\]: nope"):
+            asyncio.run(expect_frame(codec, reader_for(encoded), TYPE_READY))
+
+    def test_expect_frame_can_want_error(self):
+        codec = FrameCodec(WIRE)
+        encoded = codec.encode_error({"code": "x", "message": "y"})
+        frame = asyncio.run(expect_frame(codec, reader_for(encoded), TYPE_ERROR))
+        assert frame.body == {"code": "x", "message": "y"}
+
+    def test_header_too_small_rejected(self):
+        with pytest.raises(ValueError, match="header_bytes"):
+            FrameCodec(WireFormat(header_bytes=1))

@@ -1,0 +1,161 @@
+"""Tests for the traffic-shaped stream layer."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.net.link import LOOPBACK, Link, WAN_CLOUDNET
+from repro.runtime.shaping import ShapedStream, open_shaped_connection
+
+MIB = 2**20
+
+
+async def echo_server():
+    """A server that discards everything; returns (server, host, port)."""
+
+    async def handle(reader, writer):
+        try:
+            while await reader.read(64 * 1024):
+                pass
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(handle, "127.0.0.1", 0)
+    host, port = server.sockets[0].getsockname()[:2]
+    return server, host, port
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAccounting:
+    def test_counts_tx_bytes_and_modelled_time(self):
+        async def main():
+            server, host, port = await echo_server()
+            async with server:
+                stream = await open_shaped_connection(
+                    host, port, link=WAN_CLOUDNET, time_scale=0.0
+                )
+                payload = bytes(MIB)
+                await stream.send(payload)
+                await stream.send(payload)
+                await stream.close()
+                return stream
+
+        stream = run(main())
+        assert stream.tx_bytes == 2 * MIB
+        # Connection setup pays one RTT; each MiB pays serialization.
+        expected = WAN_CLOUDNET.rtt_s + WAN_CLOUDNET.serialization_delay(2 * MIB)
+        assert stream.modelled_tx_s == pytest.approx(expected)
+
+    def test_unshaped_stream_accounts_bytes_but_no_time(self):
+        async def main():
+            server, host, port = await echo_server()
+            async with server:
+                stream = await open_shaped_connection(host, port, link=None)
+                await stream.send(b"x" * 1000)
+                await stream.close()
+                return stream
+
+        stream = run(main())
+        assert stream.tx_bytes == 1000
+        assert stream.modelled_tx_s == 0.0
+
+    def test_time_scale_zero_never_sleeps(self):
+        async def main():
+            server, host, port = await echo_server()
+            async with server:
+                stream = await open_shaped_connection(
+                    host, port, link=WAN_CLOUDNET, time_scale=0.0
+                )
+                started = time.monotonic()
+                # 20 MiB would take ~3.4 s at the WAN's ~5.8 MiB/s.
+                for _ in range(20):
+                    await stream.send(bytes(MIB))
+                elapsed = time.monotonic() - started
+                await stream.close()
+                return stream, elapsed
+
+        stream, elapsed = run(main())
+        assert stream.modelled_tx_s > 3.0
+        assert elapsed < 1.0
+
+    def test_negative_time_scale_rejected(self):
+        # time_scale is validated before the stream pair is touched.
+        with pytest.raises(ValueError, match="time_scale"):
+            ShapedStream(reader=None, writer=None, time_scale=-1.0)
+
+
+class TestPacing:
+    def test_scaled_pacing_approximates_modelled_time(self):
+        # A tiny link: 1 MiB at 8 Mbit/s ≈ 1.05 s modelled; at
+        # time_scale=0.1 the real run should take roughly 0.1 s.
+        link = Link(name="tiny", bandwidth_bps=8e6, latency_s=0.0, efficiency=1.0)
+
+        async def main():
+            server, host, port = await echo_server()
+            async with server:
+                stream = await open_shaped_connection(
+                    host, port, link=link, time_scale=0.1
+                )
+                started = time.monotonic()
+                for _ in range(16):
+                    await stream.send(bytes(64 * 1024))
+                elapsed = time.monotonic() - started
+                await stream.close()
+                return stream, elapsed
+
+        stream, elapsed = run(main())
+        assert stream.modelled_tx_s == pytest.approx(MIB / 1e6, rel=0.01)
+        assert 0.05 < elapsed < 0.6
+
+    def test_loopback_is_effectively_unshaped(self):
+        async def main():
+            server, host, port = await echo_server()
+            async with server:
+                stream = await open_shaped_connection(
+                    host, port, link=LOOPBACK, time_scale=1.0
+                )
+                started = time.monotonic()
+                for _ in range(8):
+                    await stream.send(bytes(MIB))
+                elapsed = time.monotonic() - started
+                await stream.close()
+                return elapsed
+
+        assert run(main()) < 1.0
+
+
+class TestRecvTimeout:
+    def test_silent_peer_times_out(self):
+        async def main():
+            server, host, port = await echo_server()
+            async with server:
+                stream = await open_shaped_connection(host, port)
+                recv = stream.recv_with_timeout(0.1)
+                with pytest.raises(asyncio.TimeoutError):
+                    await recv(1)
+                await stream.close()
+
+        run(main())
+
+    def test_recv_counts_rx_bytes(self):
+        async def main():
+            async def handle(reader, writer):
+                writer.write(b"abcdef")
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            async with server:
+                stream = await open_shaped_connection(host, port)
+                data = await stream.recv(6)
+                await stream.close()
+                return data, stream.rx_bytes
+
+        data, rx = run(main())
+        assert data == b"abcdef"
+        assert rx == 6

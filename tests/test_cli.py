@@ -10,7 +10,7 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for command in ("table1", "fig1", "fig3", "fig5", "fig6", "fig7",
-                        "fig8", "rates", "migrate", "postcopy",
+                        "fig8", "rates", "migrate", "runtime", "postcopy",
                         "consolidate", "gang", "summary"):
             assert command in text
 
@@ -45,6 +45,21 @@ class TestCommands:
             "--updates-percent", "50",
         ]) == 0
         assert "pages:" in capsys.readouterr().out
+
+    def test_runtime_live_migration(self, capsys):
+        assert main(["runtime", "--size-mib", "4", "--strategy", "vecycle"]) == 0
+        out = capsys.readouterr().out
+        assert "-> completed" in out
+        assert "cross-validation" in out
+        assert "delta=0" in out  # exact payload agreement
+
+    def test_runtime_with_disconnect_injection(self, capsys):
+        assert main([
+            "runtime", "--size-mib", "4", "--strategy", "qemu",
+            "--inject-disconnect", "50", "--link", "none",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "retries=1" in out
 
     def test_fig6_custom_sizes(self, capsys):
         assert main(["fig6", "--sizes", "64,128"]) == 0
