@@ -3,13 +3,17 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: install test bench summary examples figures runtime-demo clean
+.PHONY: install test lint bench summary examples figures runtime-demo clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	python -m pytest tests/ -x -q
+
+# Requires ruff (`pip install ruff`); CI runs the same check.
+lint:
+	ruff check src tests benchmarks
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only

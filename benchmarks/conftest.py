@@ -12,6 +12,8 @@ Run with::
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
 
 import pytest
@@ -20,6 +22,7 @@ from repro.traces.generate import Trace, generate_or_load
 from repro.traces.presets import MachineSpec
 
 CACHE_DIR = Path(__file__).parent / ".trace-cache"
+SNAPSHOT_PATH = Path(__file__).parent.parent / "BENCH_observability.json"
 
 
 @pytest.fixture(scope="session")
@@ -40,3 +43,79 @@ def once(benchmark, func, *args, **kwargs):
     regenerated numbers.
     """
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def _observability_snapshot() -> dict:
+    """Traced reduced-scale runs of the Fig. 6 and Fig. 8 experiments.
+
+    Small enough to add seconds, not minutes, to a benchmark session;
+    big enough that the wall time and byte counts move when the models
+    or the instrumentation regress.
+    """
+    from repro.core.transfer import Method
+    from repro.experiments import fig6_best_case, fig8_vdi
+    from repro.obs import get_registry, get_tracer, summary_tree
+
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    tracer.enable()
+    tracer.reset()
+    registry = get_registry()
+    registry.reset()
+    try:
+        started = time.perf_counter()
+        rows = fig6_best_case.run(sizes_mib=(512,))
+        fig6_wall_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        vdi = fig8_vdi.run(num_epochs=48 * 12)
+        fig8_wall_s = time.perf_counter() - started
+
+        records = tracer.finished()
+        spans_by_name: dict = {}
+        for record in records:
+            spans_by_name[record.name] = spans_by_name.get(record.name, 0) + 1
+        return {
+            "fig6_idle_vm": {
+                "size_mib": 512,
+                "wall_s": round(fig6_wall_s, 4),
+                "cells": [
+                    {
+                        "link": row.link,
+                        "strategy": row.strategy,
+                        "modelled_time_s": round(row.time_s, 4),
+                        "tx_bytes": int(row.report.tx_bytes),
+                    }
+                    for row in rows
+                ],
+            },
+            "fig8_vdi": {
+                "epochs": 48 * 12,
+                "wall_s": round(fig8_wall_s, 4),
+                "migrations": vdi.num_migrations,
+                "bytes_by_method": {
+                    method.value: int(vdi.total_bytes(method))
+                    for method in (Method.FULL, Method.DEDUP,
+                                   Method.DIRTY_DEDUP, Method.HASHES_DEDUP)
+                },
+            },
+            "spans_by_name": dict(sorted(spans_by_name.items())),
+            "metrics": registry.snapshot(),
+            "summary_tree": summary_tree(records).splitlines(),
+        }
+    finally:
+        tracer.reset()
+        if not was_enabled:
+            tracer.disable()
+        registry.reset()
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Write the observability perf snapshot after a benchmark session."""
+    if getattr(session.config.option, "collectonly", False):
+        return
+    try:
+        snapshot = _observability_snapshot()
+    except Exception as exc:  # never fail the session over the snapshot
+        snapshot = {"error": f"{type(exc).__name__}: {exc}"}
+    SNAPSHOT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")

@@ -17,6 +17,12 @@ Usage::
     vecycle postcopy --size-mib 1024 --link wan-cloudnet
     vecycle consolidate [--vms 8] [--days 3]
     vecycle gang [--vms 8] [--shared 0.5]
+    vecycle obs [--summary] [--from trace.jsonl]
+
+Every subcommand also accepts the shared observability flags:
+``--trace-out PATH`` (write a trace of the run), ``--format
+chrome|jsonl`` (trace file format), ``--trace-summary`` (print the span
+tree to stderr afterwards), and ``-v``/``-q`` (log verbosity).
 
 (also reachable as ``python -m repro ...``)
 """
@@ -48,6 +54,15 @@ from repro.mem.mutation import boot_populate
 from repro.migration.precopy import simulate_migration
 from repro.migration.vm import SimVM
 from repro.net.link import PRESETS as LINK_PRESETS, get_link
+from repro.obs import (
+    configure_logging,
+    enable as enable_tracing,
+    export_trace,
+    get_registry,
+    get_tracer,
+    read_jsonl,
+    summary_tree,
+)
 
 MIB = 2**20
 
@@ -340,18 +355,88 @@ def _cmd_runtime(args: argparse.Namespace) -> str:
     return asyncio.run(run_all())
 
 
+def _cmd_obs(args: argparse.Namespace) -> str:
+    """Trace a demo live migration, or convert an existing event log."""
+    if args.from_jsonl:
+        records = read_jsonl(args.from_jsonl)
+        lines = [f"loaded {len(records)} spans from {args.from_jsonl}"]
+        if args.trace_out:
+            export_trace(args.trace_out, fmt=args.trace_format, records=records)
+            lines.append(f"wrote {args.trace_format} trace to {args.trace_out}")
+            # The conversion already consumed --trace-out; stop main()
+            # from overwriting the file with this (empty) live trace.
+            args.trace_out = None
+            args.trace_summary = False
+        if args.summary or len(lines) == 1:
+            lines.append(summary_tree(records))
+        return "\n".join(lines)
+
+    import asyncio
+
+    from repro.runtime import cross_validate, idle_vm_scenario
+    from repro.runtime.source import RetryPolicy, RuntimeConfig
+
+    enable_tracing()
+    scenario = idle_vm_scenario(
+        size_mib=args.size_mib,
+        updates_percent=args.updates_percent,
+        strategy=get_strategy(args.strategy),
+        link=None if args.link == "none" else get_link(args.link),
+        seed=args.seed,
+    )
+    config = RuntimeConfig(retry=RetryPolicy(max_attempts=5, base_backoff_s=0.02))
+    result = asyncio.run(cross_validate(scenario, config=config))
+    lines = [result.runtime.report()]
+    if args.summary:
+        lines += ["", summary_tree(get_tracer().finished())]
+    return "\n".join(lines)
+
+
+def _obs_options() -> argparse.ArgumentParser:
+    """Shared observability flags, attached to every subcommand."""
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("observability")
+    group.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="record a trace of this run and write it to PATH",
+    )
+    group.add_argument(
+        "--format", dest="trace_format", choices=("chrome", "jsonl"),
+        default="chrome",
+        help="trace file format: Chrome trace_event JSON "
+        "(chrome://tracing, Perfetto) or a JSONL event log",
+    )
+    group.add_argument(
+        "--trace-summary", action="store_true",
+        help="print the aggregated span tree to stderr after the command",
+    )
+    group.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase log verbosity (-v info, -vv debug)",
+    )
+    group.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="decrease log verbosity (errors only)",
+    )
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``vecycle`` argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
         prog="vecycle",
         description="VeCycle reproduction: regenerate the paper's tables and figures.",
     )
+    common = _obs_options()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("table1", help="Table 1: traced systems").set_defaults(
+    def add_parser(name: str, **kwargs) -> argparse.ArgumentParser:
+        return sub.add_parser(name, parents=[common], **kwargs)
+
+    add_parser("table1", help="Table 1: traced systems").set_defaults(
         func=_cmd_table1
     )
-    sub.add_parser(
+    add_parser(
         "fig3", help="method taxonomy as a worked example"
     ).set_defaults(func=_cmd_fig3)
     for name, func, help_text, plottable in (
@@ -360,7 +445,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("fig4", _cmd_fig4, "duplicate/zero page percentages", False),
         ("fig8", _cmd_fig8, "VDI consolidation replay", False),
     ):
-        p = sub.add_parser(name, help=help_text)
+        p = add_parser(name, help=help_text)
         p.add_argument("--epochs", type=int, default=None,
                        help="trace length override (30-min epochs)")
         if plottable:
@@ -368,7 +453,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="render ASCII charts as well")
         p.set_defaults(func=func)
 
-    p5 = sub.add_parser("fig5", help="traffic-reduction method comparison")
+    p5 = add_parser("fig5", help="traffic-reduction method comparison")
     p5.add_argument("--epochs", type=int, default=None)
     p5.add_argument("--pairs", type=int, default=500,
                     help="fingerprint pairs sampled per machine (0 = all)")
@@ -376,25 +461,25 @@ def build_parser() -> argparse.ArgumentParser:
                     help="render ASCII charts as well")
     p5.set_defaults(func=_cmd_fig5)
 
-    p6 = sub.add_parser("fig6", help="best-case idle-VM migrations")
+    p6 = add_parser("fig6", help="best-case idle-VM migrations")
     p6.add_argument("--sizes", default=None, help="comma-separated MiB sizes")
     p6.add_argument("--quick", action="store_true", help="small sizes only")
     p6.set_defaults(func=_cmd_fig6)
 
-    p7 = sub.add_parser("fig7", help="controlled update-rate sweep")
+    p7 = add_parser("fig7", help="controlled update-rate sweep")
     p7.add_argument("--quick", action="store_true", help="1 GiB VM instead of 4 GiB")
     p7.set_defaults(func=_cmd_fig7)
 
-    sub.add_parser("rates", help="checksum rate vs wire rate (§3.4)").set_defaults(
+    add_parser("rates", help="checksum rate vs wire rate (§3.4)").set_defaults(
         func=_cmd_rates
     )
 
-    ps = sub.add_parser("summary", help="one-page reproduction digest")
+    ps = add_parser("summary", help="one-page reproduction digest")
     ps.add_argument("--full", action="store_true",
                     help="full-scale traces and VM sizes (slower)")
     ps.set_defaults(func=_cmd_summary)
 
-    pm = sub.add_parser("migrate", help="simulate one migration")
+    pm = add_parser("migrate", help="simulate one migration")
     pm.add_argument("--size-mib", type=int, default=1024)
     pm.add_argument("--strategy", choices=available_strategies(), default="vecycle")
     pm.add_argument("--link", choices=sorted(LINK_PRESETS), default="lan-1gbe")
@@ -403,7 +488,7 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument("--seed", type=int, default=0)
     pm.set_defaults(func=_cmd_migrate)
 
-    pr = sub.add_parser(
+    pr = add_parser(
         "runtime",
         help="live localhost migration over the asyncio runtime, "
         "cross-validated against the analytic model",
@@ -426,7 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--seed", type=int, default=7)
     pr.set_defaults(func=_cmd_runtime)
 
-    pp = sub.add_parser("postcopy", help="post-copy migration comparison")
+    pp = add_parser("postcopy", help="post-copy migration comparison")
     pp.add_argument("--size-mib", type=int, default=1024)
     pp.add_argument("--link", choices=sorted(LINK_PRESETS), default="wan-cloudnet")
     pp.add_argument("--dirty-rate", type=float, default=200.0,
@@ -434,19 +519,43 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--seed", type=int, default=0)
     pp.set_defaults(func=_cmd_postcopy)
 
-    pc = sub.add_parser("consolidate", help="fleet consolidation simulation")
+    pc = add_parser("consolidate", help="fleet consolidation simulation")
     pc.add_argument("--vms", type=int, default=8)
     pc.add_argument("--days", type=int, default=3)
     pc.add_argument("--link", choices=sorted(LINK_PRESETS), default="lan-1gbe")
     pc.add_argument("--seed", type=int, default=21)
     pc.set_defaults(func=_cmd_consolidate)
 
-    pg = sub.add_parser("gang", help="gang migration with cross-VM redundancy")
+    pg = add_parser("gang", help="gang migration with cross-VM redundancy")
     pg.add_argument("--vms", type=int, default=8)
     pg.add_argument("--shared", type=float, default=0.5,
                     help="fraction of each VM that is shared base image")
     pg.add_argument("--seed", type=int, default=0)
     pg.set_defaults(func=_cmd_gang)
+
+    po = add_parser(
+        "obs",
+        help="trace a demo live migration, or convert/summarize an "
+        "existing JSONL event log",
+    )
+    po.add_argument("--from", dest="from_jsonl", metavar="TRACE.jsonl",
+                    default=None,
+                    help="operate on a recorded JSONL event log (e.g. from "
+                    "REPRO_TRACE=<path>) instead of running the demo")
+    po.add_argument("--summary", action="store_true",
+                    help="print the aggregated span tree")
+    po.add_argument("--size-mib", type=int, default=16)
+    po.add_argument(
+        "--strategy", choices=available_strategies(), default="vecycle"
+    )
+    po.add_argument(
+        "--link", choices=sorted(LINK_PRESETS) + ["none"], default="loopback",
+        help="link model to shape the demo migration with",
+    )
+    po.add_argument("--updates-percent", type=float, default=1.0,
+                    help="memory updated since the destination's checkpoint")
+    po.add_argument("--seed", type=int, default=7)
+    po.set_defaults(func=_cmd_obs)
     return parser
 
 
@@ -455,7 +564,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "pairs", None) == 0:
         args.pairs = None
+    configure_logging(
+        getattr(args, "verbose", 0) - getattr(args, "quiet", 0)
+    )
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out or getattr(args, "trace_summary", False):
+        enable_tracing()
     print(args.func(args))
+    # _cmd_obs may clear trace_out after converting an existing log.
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        export_trace(
+            trace_out,
+            fmt=getattr(args, "trace_format", "chrome"),
+            registry=get_registry(),
+        )
+    if getattr(args, "trace_summary", False):
+        print(summary_tree(get_tracer().finished()), file=sys.stderr)
     return 0
 
 

@@ -29,7 +29,12 @@ from repro.migration.engine import migrate_between_hosts
 from repro.migration.report import MigrationReport
 from repro.migration.vm import SimVM
 from repro.net.link import Link
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span as _span
 from repro.storage.disk import Disk, HDD_HD204UI
+
+log = get_logger(__name__)
 
 EPOCH_SECONDS = 1800.0
 
@@ -164,28 +169,63 @@ class DatacenterSimulator:
         if epochs <= 0:
             raise ValueError(f"epochs must be > 0, got {epochs}")
         report = ClusterReport(strategy=self.strategy.name, epochs=epochs)
-        for epoch in range(epochs):
-            for member in self.fleet:
-                member.step_activity(self.rng)
-                member.vm.run_for(EPOCH_SECONDS)
-            moves = self.policy.decide(
-                [member.status() for member in self.fleet], epoch
-            )
-            for move in moves:
-                member = self._member(move.vm_id)
-                if move.destination == member.host:
-                    continue
-                if move.destination not in self.hosts:
-                    raise ValueError(f"policy moved to unknown host {move.destination!r}")
-                migration = migrate_between_hosts(
-                    member.vm,
-                    self.hosts[member.host],
-                    self.hosts[move.destination],
-                    self.strategy,
-                    self.link,
+        log.info(
+            "starting consolidation run",
+            strategy=self.strategy.name,
+            vms=len(self.fleet),
+            hosts=len(self.hosts),
+            epochs=epochs,
+        )
+        registry = get_registry()
+        with _span(
+            "cluster.run",
+            strategy=self.strategy.name,
+            vms=len(self.fleet),
+            epochs=epochs,
+        ) as run_span:
+            for epoch in range(epochs):
+                for member in self.fleet:
+                    member.step_activity(self.rng)
+                    member.vm.run_for(EPOCH_SECONDS)
+                moves = self.policy.decide(
+                    [member.status() for member in self.fleet], epoch
                 )
-                member.host = move.destination
-                report.migrations.append(migration)
+                for move in moves:
+                    member = self._member(move.vm_id)
+                    if move.destination == member.host:
+                        continue
+                    if move.destination not in self.hosts:
+                        raise ValueError(
+                            f"policy moved to unknown host {move.destination!r}"
+                        )
+                    with _span(
+                        "cluster.migration",
+                        epoch=epoch,
+                        vm=move.vm_id,
+                        source=member.host,
+                        destination=move.destination,
+                    ) as move_span:
+                        migration = migrate_between_hosts(
+                            member.vm,
+                            self.hosts[member.host],
+                            self.hosts[move.destination],
+                            self.strategy,
+                            self.link,
+                        )
+                        move_span.set(
+                            tx_bytes=migration.tx_bytes
+                        ).add_modelled(migration.total_time_s)
+                    registry.counter("cluster.migrations").add(1)
+                    registry.counter("cluster.tx_bytes").add(migration.tx_bytes)
+                    member.host = move.destination
+                    report.migrations.append(migration)
+            run_span.set(migrations=report.num_migrations)
+        log.info(
+            "consolidation run finished",
+            strategy=self.strategy.name,
+            migrations=report.num_migrations,
+            gib_moved=round(report.total_tx_bytes / 2**30, 3),
+        )
         return report
 
     def _member(self, vm_id: str) -> FleetVm:

@@ -26,7 +26,11 @@ from repro.core.checkpoint import ChecksumIndex
 from repro.core.dedup import dedup_split
 from repro.core.fingerprint import Fingerprint
 from repro.core.transfer import Method
+from repro.obs.log import get_logger
+from repro.obs.trace import NOOP_SPAN, span as _span
 from repro.traces.generate import Trace
+
+log = get_logger(__name__)
 
 VDI_METHODS = (Method.FULL, Method.DEDUP, Method.DIRTY_DEDUP, Method.HASHES_DEDUP)
 """Techniques compared in Figure 8 (VeCycle = hashes+dedup per §4.6)."""
@@ -105,38 +109,53 @@ def replay_vdi(
         schedule = vdi_schedule(days)
     if not schedule:
         raise ValueError("schedule is empty")
+    log.info(
+        "replaying VDI schedule",
+        migrations=len(schedule),
+        ram_gib=round(trace.ram_bytes / 2**30, 2),
+    )
     records: List[VdiMigrationRecord] = []
     previous_fingerprint: Optional[Fingerprint] = None
     previous_index: Optional[ChecksumIndex] = None
-    for index, event in enumerate(sorted(schedule, key=lambda e: e.time_hours)):
-        current, at_hours = _fingerprint_at(trace, event.time_hours)
-        fractions: Dict[Method, float] = {}
-        if previous_fingerprint is None:
-            # First migration: no checkpoint exists at any host.
-            n = current.num_pages
-            for method in methods:
-                if method.uses_dedup:
-                    full_mask, _ = dedup_split(current.hashes)
-                    fractions[method] = int(full_mask.sum()) / n
+    with _span("vdi.replay", migrations=len(schedule)) as replay_span:
+        for index, event in enumerate(sorted(schedule, key=lambda e: e.time_hours)):
+            with _span("vdi.migration", index=index) as sp:
+                current, at_hours = _fingerprint_at(trace, event.time_hours)
+                fractions: Dict[Method, float] = {}
+                if previous_fingerprint is None:
+                    # First migration: no checkpoint exists at any host.
+                    n = current.num_pages
+                    for method in methods:
+                        if method.uses_dedup:
+                            full_mask, _ = dedup_split(current.hashes)
+                            fractions[method] = int(full_mask.sum()) / n
+                        else:
+                            fractions[method] = 1.0
                 else:
-                    fractions[method] = 1.0
-        else:
-            fractions = pair_fractions(
-                current.hashes,
-                previous_fingerprint.hashes,
-                previous_index,
-                methods,
+                    fractions = pair_fractions(
+                        current.hashes,
+                        previous_fingerprint.hashes,
+                        previous_index,
+                        methods,
+                    )
+                if sp is not NOOP_SPAN:
+                    sp.set(
+                        source=event.source,
+                        destination=event.destination,
+                        hours=round(at_hours, 2),
+                        first=previous_fingerprint is None,
+                    )
+            records.append(
+                VdiMigrationRecord(
+                    index=index,
+                    event=event,
+                    fingerprint_hours=at_hours,
+                    fractions=fractions,
+                )
             )
-        records.append(
-            VdiMigrationRecord(
-                index=index,
-                event=event,
-                fingerprint_hours=at_hours,
-                fractions=fractions,
-            )
-        )
-        # The source stores this state as the checkpoint the next
-        # migration (back to it) will reuse.
-        previous_fingerprint = current
-        previous_index = ChecksumIndex(current)
+            # The source stores this state as the checkpoint the next
+            # migration (back to it) will reuse.
+            previous_fingerprint = current
+            previous_index = ChecksumIndex(current)
+        replay_span.set(migrations=len(records))
     return VdiResult(ram_bytes=trace.ram_bytes, records=records)

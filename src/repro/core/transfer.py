@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.checkpoint import ChecksumIndex
 from repro.core.dedup import dedup_split
 from repro.core.fingerprint import Fingerprint
+from repro.obs.trace import NOOP_SPAN, span as _span
 
 
 class Method(enum.Enum):
@@ -158,6 +159,29 @@ def compute_transfer_set(
     Returns:
         A :class:`TransferSet` partitioning all slots.
     """
+    with _span("engine.transfer_set") as sp:
+        result = _compute_transfer_set(
+            method, current, checkpoint, dirty_slots, checkpoint_index
+        )
+        if sp is not NOOP_SPAN:
+            sp.set(
+                method=method.value,
+                slots=result.num_slots,
+                full=result.full_pages,
+                ref=result.ref_pages,
+                checksum_only=result.checksum_only_pages,
+                skipped=result.skipped_pages,
+            )
+        return result
+
+
+def _compute_transfer_set(
+    method: Method,
+    current: Fingerprint,
+    checkpoint: Optional[Fingerprint],
+    dirty_slots: Optional[np.ndarray],
+    checkpoint_index: Optional[ChecksumIndex],
+) -> TransferSet:
     n = current.num_pages
     hashes = current.hashes
     if method.uses_checkpoint:

@@ -29,7 +29,11 @@ from repro.migration.precopy import PrecopyConfig, simulate_migration
 from repro.migration.report import MigrationReport
 from repro.migration.vm import SimVM
 from repro.net.link import LAN_1GBE, Link, WAN_CLOUDNET
+from repro.obs.log import get_logger
+from repro.obs.trace import span as _span
 from repro.storage.disk import Disk, HDD_HD204UI
+
+log = get_logger(__name__)
 
 MIB = 2**20
 
@@ -89,23 +93,29 @@ def run(
     of 100% and gives pre-copy a tiny second round, like real idle VMs.
     """
     rows: List[BestCaseRow] = []
-    for size_mib in sizes_mib:
-        for link in links:
-            for strategy in strategies:
-                vm = _idle_vm(size_mib, seed, idle_dirty_rate)
-                checkpoint = None
-                if strategy.reuses_checkpoint:
-                    # The VM migrated away from this host earlier; the
-                    # host kept a checkpoint.  A little idle activity
-                    # happened since (30 simulated minutes).
-                    checkpoint = Checkpoint(
-                        vm_id=vm.vm_id,
-                        fingerprint=vm.fingerprint(),
-                        generation_vector=vm.tracker.snapshot(),
-                    )
-                    vm.run_for(1800.0)
-                rows.append(
-                    BestCaseRow(
+    log.info(
+        "running best-case sweep",
+        sizes=list(sizes_mib),
+        links=[link.name for link in links],
+        strategies=[strategy.name for strategy in strategies],
+    )
+    with _span("experiment.fig6", cells=len(sizes_mib) * len(links) * len(strategies)):
+        for size_mib in sizes_mib:
+            for link in links:
+                for strategy in strategies:
+                    vm = _idle_vm(size_mib, seed, idle_dirty_rate)
+                    checkpoint = None
+                    if strategy.reuses_checkpoint:
+                        # The VM migrated away from this host earlier; the
+                        # host kept a checkpoint.  A little idle activity
+                        # happened since (30 simulated minutes).
+                        checkpoint = Checkpoint(
+                            vm_id=vm.vm_id,
+                            fingerprint=vm.fingerprint(),
+                            generation_vector=vm.tracker.snapshot(),
+                        )
+                        vm.run_for(1800.0)
+                    row = BestCaseRow(
                         size_mib=size_mib,
                         link=link.name,
                         strategy=strategy.name,
@@ -118,7 +128,14 @@ def run(
                             config=PrecopyConfig(announce_known=True),
                         ),
                     )
-                )
+                    log.debug(
+                        "cell done",
+                        size_mib=size_mib,
+                        link=link.name,
+                        strategy=strategy.name,
+                        time_s=round(row.time_s, 2),
+                    )
+                    rows.append(row)
     return rows
 
 

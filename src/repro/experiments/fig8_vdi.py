@@ -13,8 +13,11 @@ from typing import Optional
 
 from repro.cluster.vdi import VdiResult, replay_vdi
 from repro.core.transfer import Method
+from repro.obs.log import get_logger
 from repro.traces.generate import generate_trace
 from repro.traces.presets import DESKTOP, MachineSpec
+
+log = get_logger(__name__)
 
 
 def run(
@@ -22,8 +25,15 @@ def run(
     num_epochs: Optional[int] = None,
 ) -> VdiResult:
     """Generate the desktop trace and replay the VDI schedule."""
+    log.info("generating desktop trace", machine=machine.name, epochs=num_epochs)
     trace = generate_trace(machine, num_epochs=num_epochs)
-    return replay_vdi(trace)
+    result = replay_vdi(trace)
+    log.info(
+        "VDI replay done",
+        migrations=result.num_migrations,
+        vecycle_fraction=round(result.fraction_of_baseline(Method.HASHES_DEDUP), 3),
+    )
+    return result
 
 
 def format_table(result: VdiResult) -> str:

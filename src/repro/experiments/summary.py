@@ -19,7 +19,10 @@ from repro.experiments import (
     fig7_updates,
     fig8_vdi,
 )
+from repro.obs.log import get_logger
 from repro.traces.presets import CRAWLER_A, SERVER_A, SERVER_B
+
+log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -38,6 +41,7 @@ def run(quick: bool = True) -> List[Claim]:
     epochs = 96 if quick else None
     pairs = 150 if quick else 600
 
+    log.info("evaluating headline claims", quick=quick)
     decay = fig1_similarity.run(
         machines=(SERVER_A, SERVER_B, CRAWLER_A),
         num_epochs=epochs,
@@ -128,6 +132,13 @@ def run(quick: bool = True) -> List[Claim]:
                      f"{vdi.num_migrations} migrations",
             holds=0.10 <= fraction <= 0.40,
         )
+    )
+    for claim in claims:
+        log.debug("claim evaluated", source=claim.source, holds=claim.holds)
+    log.info(
+        "digest complete",
+        passed=sum(claim.holds for claim in claims),
+        total=len(claims),
     )
     return claims
 

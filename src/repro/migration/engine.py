@@ -21,6 +21,8 @@ from repro.migration.precopy import PrecopyConfig, simulate_migration
 from repro.migration.report import MigrationReport
 from repro.migration.vm import SimVM
 from repro.net.link import Link
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span as _span
 
 
 @dataclass(frozen=True)
@@ -104,18 +106,35 @@ def migrate_between_hosts(
 
     Returns the :class:`~repro.migration.report.MigrationReport`.
     """
-    context = resolve_transfer_context(vm, source, destination, strategy, config)
-    report = simulate_migration(
-        vm,
-        strategy,
-        link,
-        checkpoint=context.checkpoint,
-        dest_disk=destination.disk,
-        source_disk=source.disk,
-        config=replace(config, announce_known=context.announce_known),
-    )
-    record_migration_outcome(vm, source, destination)
-    return report
+    with _span(
+        "engine.migrate",
+        vm=vm.vm_id,
+        source=source.name,
+        destination=destination.name,
+        strategy=strategy.name,
+    ) as sp:
+        with _span("engine.resolve_context") as resolve_span:
+            context = resolve_transfer_context(
+                vm, source, destination, strategy, config
+            )
+            resolve_span.set(
+                checkpoint=context.checkpoint is not None,
+                announce_known=context.announce_known,
+            )
+        report = simulate_migration(
+            vm,
+            strategy,
+            link,
+            checkpoint=context.checkpoint,
+            dest_disk=destination.disk,
+            source_disk=source.disk,
+            config=replace(config, announce_known=context.announce_known),
+        )
+        with _span("engine.record_outcome"):
+            record_migration_outcome(vm, source, destination)
+        sp.add_modelled(report.total_time_s)
+        get_registry().counter("engine.host_migrations").add(1)
+        return report
 
 
 def ping_pong(

@@ -40,6 +40,8 @@ from repro.core.transfer import Method, compute_transfer_set
 from repro.migration.report import MigrationReport, RoundStats
 from repro.migration.vm import SimVM
 from repro.net.link import Link
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span as _span
 from repro.storage.disk import Disk, HDD_HD204UI
 
 
@@ -112,6 +114,47 @@ def simulate_migration(
     The VM's memory image is left in its post-migration state (including
     pages dirtied mid-flight), so callers can chain migrations.
     """
+    with _span(
+        "migration.simulate", vm=vm.vm_id, strategy=strategy.name, link=link.name
+    ) as sp:
+        report = _simulate_migration(
+            vm, strategy, link, checkpoint, dest_disk, source_disk, config
+        )
+        sp.add_modelled(report.total_time_s)
+        sp.set(tx_bytes=report.tx_bytes, rounds=len(report.rounds))
+        _record_engine_metrics(report)
+        return report
+
+
+def _record_engine_metrics(report: MigrationReport) -> None:
+    """Fold one analytic migration into the shared metrics registry."""
+    registry = obs_metrics.get_registry()
+    registry.counter("engine.migrations").add(1)
+    registry.counter("engine.tx_bytes").add(report.tx_bytes)
+    registry.counter("engine.announce_bytes").add(report.announce_bytes)
+    registry.counter("engine.pages_full").add(report.pages_full)
+    registry.counter("engine.pages_ref").add(report.pages_ref)
+    registry.counter("engine.pages_checksum_only").add(report.pages_checksum_only)
+    rounds = registry.histogram(
+        "engine.round_seconds", obs_metrics.ROUND_SECONDS_BUCKETS
+    )
+    sizes = registry.histogram(
+        "engine.round_bytes", obs_metrics.PAGE_BYTES_BUCKETS
+    )
+    for stats in report.rounds:
+        rounds.observe(stats.duration_s)
+        sizes.observe(stats.bytes_sent)
+
+
+def _simulate_migration(
+    vm: SimVM,
+    strategy: MigrationStrategy,
+    link: Link,
+    checkpoint: Optional[Checkpoint],
+    dest_disk: Disk,
+    source_disk: Disk,
+    config: PrecopyConfig,
+) -> MigrationReport:
     report = MigrationReport(
         strategy=strategy.name,
         vm_id=vm.vm_id,
@@ -154,41 +197,52 @@ def simulate_migration(
     # --- Destination setup phase (excluded from migration time, §4.4) ---
     index: Optional[ChecksumIndex] = None
     if method.uses_checkpoint and usable_checkpoint is not None:
-        ckpt_bytes = usable_checkpoint.size_bytes
-        load_time = dest_disk.sequential_read_time(ckpt_bytes)
-        # While streaming the file the destination hashes each 4 KiB
-        # block to build the sorted checksum index (§3.3); disk and CPU
-        # overlap, the slower one dominates.
-        hash_time = checksum.seconds_for(ckpt_bytes) / config.checksum_cores
-        report.setup_time_s = max(load_time, hash_time)
-        index = usable_checkpoint.index
-        report.similarity = current.similarity_to(usable_checkpoint.fingerprint)
+        with _span("migration.setup") as sp:
+            ckpt_bytes = usable_checkpoint.size_bytes
+            load_time = dest_disk.sequential_read_time(ckpt_bytes)
+            # While streaming the file the destination hashes each 4 KiB
+            # block to build the sorted checksum index (§3.3); disk and CPU
+            # overlap, the slower one dominates.
+            hash_time = checksum.seconds_for(ckpt_bytes) / config.checksum_cores
+            report.setup_time_s = max(load_time, hash_time)
+            index = usable_checkpoint.index
+            report.similarity = current.similarity_to(usable_checkpoint.fingerprint)
+            sp.add_modelled(report.setup_time_s)
 
     # --- Bulk checksum announce (destination -> source), §3.2 ---
     announce_pages = 0
     announce_time = 0.0
     if method.uses_hashes and usable_checkpoint is not None and not config.announce_known:
-        announce_pages = len(usable_checkpoint.index)
-        announce_time = link.transfer_time(announce_pages * checksum.digest_size)
+        with _span("migration.checksum_exchange") as sp:
+            announce_pages = len(usable_checkpoint.index)
+            announce_time = link.transfer_time(announce_pages * checksum.digest_size)
+            sp.set(announce_pages=announce_pages).add_modelled(announce_time)
 
     # --- First copy round ---
     dirty_slots = None
     if method.uses_dirty_tracking and usable_checkpoint is not None:
-        if usable_checkpoint.generation_vector is not None:
-            dirty_slots = vm.tracker.dirty_since(usable_checkpoint.generation_vector)
-        else:
-            dirty_slots = current.dirty_slots(since=usable_checkpoint.fingerprint)
+        with _span("migration.dirty_scan") as sp:
+            if usable_checkpoint.generation_vector is not None:
+                dirty_slots = vm.tracker.dirty_since(
+                    usable_checkpoint.generation_vector
+                )
+            else:
+                dirty_slots = current.dirty_slots(since=usable_checkpoint.fingerprint)
+            sp.set(dirty=int(len(dirty_slots)))
 
-    transfer_set = compute_transfer_set(
-        method,
-        current,
-        checkpoint=usable_checkpoint.fingerprint
-        if (method.uses_checkpoint and usable_checkpoint is not None)
-        else None,
-        dirty_slots=dirty_slots,
-        checkpoint_index=index if method.uses_hashes else None,
-    )
-    traffic = first_round_traffic(transfer_set, wire, announce_unique_pages=announce_pages)
+    with _span("migration.plan", method=method.value):
+        transfer_set = compute_transfer_set(
+            method,
+            current,
+            checkpoint=usable_checkpoint.fingerprint
+            if (method.uses_checkpoint and usable_checkpoint is not None)
+            else None,
+            dirty_slots=dirty_slots,
+            checkpoint_index=index if method.uses_hashes else None,
+        )
+        traffic = first_round_traffic(
+            transfer_set, wire, announce_unique_pages=announce_pages
+        )
 
     # Split the reusable pages into in-place (checksum verifies against
     # the preloaded image) vs relocated (random checkpoint read,
@@ -208,33 +262,38 @@ def simulate_migration(
 
     cores = config.checksum_cores
     compression = config.compression
-    # Compression applies to the page payload only; headers, checksums
-    # and references are already minimal.
-    raw_page_bytes = transfer_set.full_pages * PAGE_SIZE
-    compressed_page_bytes = compression.compressed_bytes(raw_page_bytes)
-    payload_bytes = traffic.payload_bytes - raw_page_bytes + compressed_page_bytes
+    with _span("migration.round", round_no=1) as round_span:
+        # Compression applies to the page payload only; headers, checksums
+        # and references are already minimal.
+        raw_page_bytes = transfer_set.full_pages * PAGE_SIZE
+        compressed_page_bytes = compression.compressed_bytes(raw_page_bytes)
+        payload_bytes = traffic.payload_bytes - raw_page_bytes + compressed_page_bytes
 
-    src_cpu = checksum.seconds_for(
-        transfer_set.checksummed_pages * PAGE_SIZE
-    ) / cores + compression.compress_time(raw_page_bytes, cores)
-    wire_time = link.transfer_time(payload_bytes)
-    dst_cpu = checksum.seconds_for(
-        transfer_set.checksum_only_pages * PAGE_SIZE
-    ) / cores + compression.decompress_time(raw_page_bytes, cores)
-    dst_disk_time = dest_disk.random_read_time(reused_from_disk)
-    round_time = max(src_cpu, wire_time, dst_cpu + dst_disk_time)
+        src_cpu = checksum.seconds_for(
+            transfer_set.checksummed_pages * PAGE_SIZE
+        ) / cores + compression.compress_time(raw_page_bytes, cores)
+        wire_time = link.transfer_time(payload_bytes)
+        dst_cpu = checksum.seconds_for(
+            transfer_set.checksum_only_pages * PAGE_SIZE
+        ) / cores + compression.decompress_time(raw_page_bytes, cores)
+        dst_disk_time = dest_disk.random_read_time(reused_from_disk)
+        round_time = max(src_cpu, wire_time, dst_cpu + dst_disk_time)
 
-    dirtied = vm.run_for(round_time)
-    report.rounds.append(
-        RoundStats(
-            round_no=1,
-            pages_sent=transfer_set.full_pages,
-            small_messages=transfer_set.ref_pages + transfer_set.checksum_only_pages,
-            bytes_sent=payload_bytes,
-            duration_s=round_time,
-            dirty_after=len(dirtied),
+        dirtied = vm.run_for(round_time)
+        report.rounds.append(
+            RoundStats(
+                round_no=1,
+                pages_sent=transfer_set.full_pages,
+                small_messages=transfer_set.ref_pages
+                + transfer_set.checksum_only_pages,
+                bytes_sent=payload_bytes,
+                duration_s=round_time,
+                dirty_after=len(dirtied),
+            )
         )
-    )
+        round_span.set(
+            pages=transfer_set.full_pages, bytes=payload_bytes
+        ).add_modelled(round_time)
     report.tx_bytes += payload_bytes
     report.announce_bytes = traffic.announce_bytes
     report.pages_full = transfer_set.full_pages
@@ -268,43 +327,53 @@ def simulate_migration(
         round_no += 1
         round_bytes = remaining_bytes
         duration = projected
-        newly_dirty = np.unique(vm.run_for(duration))
-        report.rounds.append(
-            RoundStats(
-                round_no=round_no,
-                pages_sent=len(dirty),
-                small_messages=0,
-                bytes_sent=round_bytes,
-                duration_s=duration,
-                dirty_after=len(newly_dirty),
+        with _span("migration.round", round_no=round_no) as round_span:
+            newly_dirty = np.unique(vm.run_for(duration))
+            report.rounds.append(
+                RoundStats(
+                    round_no=round_no,
+                    pages_sent=len(dirty),
+                    small_messages=0,
+                    bytes_sent=round_bytes,
+                    duration_s=duration,
+                    dirty_after=len(newly_dirty),
+                )
             )
-        )
+            round_span.set(
+                pages=int(len(dirty)), bytes=round_bytes
+            ).add_modelled(duration)
         report.tx_bytes += round_bytes
         total_time += duration
         dirty = newly_dirty
 
     # --- Stop-and-copy ---
-    final_bytes = dirty_round_bytes(len(dirty))
-    downtime = config.switchover_s + (
-        dirty_round_time(len(dirty)) if len(dirty) else 0.0
-    )
-    if len(dirty):
-        report.rounds.append(
-            RoundStats(
-                round_no=round_no + 1,
-                pages_sent=len(dirty),
-                small_messages=0,
-                bytes_sent=final_bytes,
-                duration_s=downtime,
-                dirty_after=0,
-            )
+    with _span("migration.stop_and_copy") as sp:
+        final_bytes = dirty_round_bytes(len(dirty))
+        downtime = config.switchover_s + (
+            dirty_round_time(len(dirty)) if len(dirty) else 0.0
         )
-        report.tx_bytes += final_bytes
-    report.downtime_s = downtime
-    report.total_time_s = total_time + downtime
+        if len(dirty):
+            report.rounds.append(
+                RoundStats(
+                    round_no=round_no + 1,
+                    pages_sent=len(dirty),
+                    small_messages=0,
+                    bytes_sent=final_bytes,
+                    duration_s=downtime,
+                    dirty_after=0,
+                )
+            )
+            report.tx_bytes += final_bytes
+        report.downtime_s = downtime
+        report.total_time_s = total_time + downtime
+        sp.set(pages=int(len(dirty))).add_modelled(downtime)
 
     # --- Source writes the new checkpoint (excluded from time, §4.4) ---
-    report.checkpoint_write_time_s = source_disk.sequential_write_time(vm.memory_bytes)
+    with _span("migration.checkpoint_write") as sp:
+        report.checkpoint_write_time_s = source_disk.sequential_write_time(
+            vm.memory_bytes
+        )
+        sp.add_modelled(report.checkpoint_write_time_s)
     return report
 
 

@@ -1,0 +1,205 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The numeric companion to the span tracer: spans say *when* work
+happened, the registry says *how much* accumulated — bytes by frame
+kind, retries, migrations executed, distributions of page-transfer
+sizes and round durations.  One process-wide default registry is shared
+by the analytic engine, the live runtime, and the cluster simulator, so
+a single export shows the whole run.
+
+All instruments are plain Python objects with no locks: increments are
+single bytecode-level dict/float operations, safe under the GIL for the
+asyncio-concurrent runtime, and cheap enough to leave permanently on.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+PAGE_BYTES_BUCKETS: Tuple[float, ...] = (
+    64.0,
+    256.0,
+    1024.0,
+    4096.0,
+    16384.0,
+    65536.0,
+    262144.0,
+    1048576.0,
+)
+"""Histogram boundaries for per-message/page transfer sizes (bytes):
+sub-header refs and checksums at the low end, 4 KiB pages in the
+middle, chunked multi-page writes above."""
+
+ROUND_SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.003,
+    0.01,
+    0.03,
+    0.1,
+    0.3,
+    1.0,
+    3.0,
+    10.0,
+    30.0,
+    100.0,
+)
+"""Histogram boundaries for round/phase durations (seconds), log-ish
+spaced from sub-millisecond loopback rounds to WAN stop-and-copy."""
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Increment by ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: cannot add {amount} < 0")
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-compatible state for export."""
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-write-wins level (queue depth, fleet size, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current level."""
+        self.value = value
+
+    def add(self, amount: float = 1.0) -> None:
+        """Adjust the level by ``amount`` (may be negative)."""
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-compatible state for export."""
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-boundary histogram (cumulative-style buckets on export).
+
+    ``boundaries`` are the inclusive upper edges of the first
+    ``len(boundaries)`` buckets; one overflow bucket catches the rest.
+    Boundaries are fixed at creation so two snapshots of the same
+    histogram are always comparable across PRs.
+    """
+
+    __slots__ = ("name", "boundaries", "counts", "total", "sum", "min", "max")
+
+    def __init__(self, name: str, boundaries: Sequence[float]) -> None:
+        edges = tuple(float(b) for b in boundaries)
+        if not edges:
+            raise ValueError(f"histogram {name}: boundaries must not be empty")
+        if any(b >= a for b, a in zip(edges, edges[1:])):
+            raise ValueError(f"histogram {name}: boundaries must increase")
+        self.name = name
+        self.boundaries = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one sample into its bucket."""
+        self.counts[bisect.bisect_left(self.boundaries, value)] += 1
+        self.total += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-compatible state for export."""
+        return {
+            "type": "histogram",
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.total else None,
+            "max": self.max if self.total else None,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    ``registry.counter("runtime.bytes.full").add(n)`` is the whole API:
+    asking for an existing name returns the same object; asking for a
+    name already registered as a different instrument type raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+
+    def _get(self, name: str, cls, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, boundaries: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """Get or create a histogram; default buckets are round seconds."""
+        edges = boundaries if boundaries is not None else ROUND_SECONDS_BUCKETS
+        return self._get(name, Histogram, lambda: Histogram(name, edges))
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered instrument names, sorted."""
+        return tuple(sorted(self._instruments))
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """All instruments as a JSON-compatible {name: state} dict."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+    def reset(self) -> None:
+        """Forget every instrument (tests and fresh CLI runs)."""
+        self._instruments = {}
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _registry

@@ -36,6 +36,8 @@ from repro.core.protocol import WireFormat
 from repro.core.transfer import Method
 from repro.mem.pagestore import ContentAddressedStore, PageStore
 from repro.net.link import Link
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span as _span
 from repro.runtime.frames import (
     Frame,
     FrameCodec,
@@ -401,7 +403,19 @@ class CheckpointDaemon:
             raise SinkProtocolError("bad-hello", f"expected HELLO, got {hello.name}")
         session, codec = self._session_for(hello.body)
         recv = stream.recv_with_timeout(self.io_timeout_s)
+        with _span(
+            "daemon.session",
+            host=self.name,
+            vm=session.vm_id,
+            session=session.session_id,
+            resumed=session.total_applied > 0,
+        ):
+            await self._serve_frames(stream, recv, session, codec, hello)
 
+    async def _serve_frames(
+        self, stream: ShapedStream, recv, session: _SinkSession,
+        codec: FrameCodec, hello: Frame,
+    ) -> None:
         if session.completed:
             await stream.send(codec.encode_ready(session.round_no,
                                                  session.applied_in_round,
@@ -420,9 +434,12 @@ class CheckpointDaemon:
             )
         )
         if announce_follows:
-            hosted = self.checkpoints.get(session.vm_id)
-            digests = hosted.announce_digests() if hosted is not None else []
-            await stream.send(codec.encode_announce(digests))
+            with _span("daemon.announce", vm=session.vm_id) as announce_span:
+                hosted = self.checkpoints.get(session.vm_id)
+                digests = hosted.announce_digests() if hosted is not None else []
+                await stream.send(codec.encode_announce(digests))
+                announce_span.set(digests=len(digests))
+                get_registry().counter("daemon.announced_digests").add(len(digests))
 
         while True:
             frame = await codec.read_frame(recv)
@@ -431,20 +448,26 @@ class CheckpointDaemon:
                 if frame.round_no != session.round_no:
                     session.round_no = frame.round_no
                     session.applied_in_round = 0
-                received = 0
-                while received < frame.count:
-                    page = await codec.read_frame(recv)
-                    if page.type not in (TYPE_PAGE_FULL, TYPE_PAGE_CHECKSUM,
-                                         TYPE_PAGE_REF, TYPE_PAGE_PLAIN):
-                        raise SinkProtocolError(
-                            "bad-frame",
-                            f"expected a page frame mid-round, got {page.name}",
-                        )
-                    session.apply(page)
-                    received += 1
-                    if self._should_abort(session):
-                        stream.abort()
-                        return
+                with _span(
+                    "daemon.round", round_no=frame.round_no, expected=frame.count
+                ) as round_span:
+                    received = 0
+                    while received < frame.count:
+                        page = await codec.read_frame(recv)
+                        if page.type not in (TYPE_PAGE_FULL, TYPE_PAGE_CHECKSUM,
+                                             TYPE_PAGE_REF, TYPE_PAGE_PLAIN):
+                            raise SinkProtocolError(
+                                "bad-frame",
+                                f"expected a page frame mid-round, got {page.name}",
+                            )
+                        session.apply(page)
+                        received += 1
+                        if self._should_abort(session):
+                            round_span.set(received=received, aborted=True)
+                            get_registry().counter("daemon.injected_aborts").add(1)
+                            stream.abort()
+                            return
+                    round_span.set(received=received)
             elif frame.type == TYPE_COMPLETE:
                 result = session.finish(frame)
                 if result["ok"]:
@@ -452,6 +475,17 @@ class CheckpointDaemon:
                         vm_id=session.vm_id,
                         slot_digests=list(session.slot_digests),
                     )
+                registry = get_registry()
+                registry.counter("daemon.sessions.completed").add(1)
+                registry.counter("daemon.pages_received").add(
+                    session.pages_received
+                )
+                registry.counter("daemon.reused_in_place").add(
+                    session.reused_in_place
+                )
+                registry.counter("daemon.reused_from_store").add(
+                    session.reused_from_store
+                )
                 await stream.send(codec.encode_result(result))
                 return
             else:

@@ -98,8 +98,34 @@ class MigrationMetrics:
     def messages(self) -> int:
         return sum(self.messages_by_type.values())
 
-    def as_dict(self) -> Dict[str, Any]:
-        """JSON-friendly flat view (CLI ``--json`` and log shipping)."""
+    def validate(self) -> None:
+        """Internal-consistency checks; raises ``ValueError`` on violation.
+
+        The resume path counts a frame either as fresh payload
+        (``bytes_by_type``) or as a retransmission — never both — so
+        retransmitted bytes can never exceed the counted payload, and a
+        retransmission implies at least one retry happened.  Called when
+        a migration completes, so a double-count bug fails loudly at the
+        source instead of skewing cross-validation silently.
+        """
+        if self.retransmitted_bytes < 0:
+            raise ValueError(
+                f"retransmitted_bytes is negative: {self.retransmitted_bytes}"
+            )
+        if self.retransmitted_bytes > self.payload_bytes:
+            raise ValueError(
+                "retransmitted bytes exceed counted payload "
+                f"({self.retransmitted_bytes} > {self.payload_bytes}): "
+                "a resumed round double-counted frames"
+            )
+        if self.retransmitted_bytes and not self.retries:
+            raise ValueError(
+                f"{self.retransmitted_bytes} retransmitted bytes recorded "
+                "without any retry"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON round-trip view; :meth:`from_dict` inverts it exactly."""
         return {
             "vm_id": self.vm_id,
             "mode": self.mode,
@@ -134,6 +160,45 @@ class MigrationMetrics:
             "modelled_time_s": self.modelled_time_s,
             "sink": dict(self.sink_stats),
         }
+
+    # Historical name for the flat JSON view (CLI and log shipping).
+    as_dict = to_dict
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MigrationMetrics":
+        """Rebuild metrics from :meth:`to_dict` output (JSONL ingestion)."""
+        pages = data.get("pages", {})
+        metrics = cls(
+            vm_id=data["vm_id"],
+            mode=data["mode"],
+            link=data["link"],
+            bytes_by_type=dict(data.get("bytes_by_type", {})),
+            messages_by_type=dict(data.get("messages_by_type", {})),
+            announce_bytes=int(data.get("announce_bytes", 0)),
+            control_bytes=int(data.get("control_bytes", 0)),
+            retries=int(data.get("retries", 0)),
+            retransmitted_bytes=int(data.get("retransmitted_bytes", 0)),
+            pages_full=int(pages.get("full", 0)),
+            pages_ref=int(pages.get("ref", 0)),
+            pages_checksum_only=int(pages.get("checksum_only", 0)),
+            pages_skipped=int(pages.get("skipped", 0)),
+            checksummed_pages=int(pages.get("checksummed", 0)),
+            rounds=[
+                RoundMetrics(
+                    round_no=int(r["round_no"]),
+                    messages=int(r["messages"]),
+                    bytes_sent=int(r["bytes"]),
+                    duration_s=float(r["duration_s"]),
+                )
+                for r in data.get("rounds", [])
+            ],
+            wall_time_s=float(data.get("wall_time_s", 0.0)),
+            modelled_time_s=float(data.get("modelled_time_s", 0.0)),
+            outcome=data.get("outcome", "pending"),
+            error=data.get("error"),
+            sink_stats=dict(data.get("sink", {})),
+        )
+        return metrics
 
     def report(self) -> str:
         """Multi-line human-readable report for the CLI."""

@@ -30,6 +30,8 @@ import numpy as np
 from repro.core.strategies import MigrationStrategy
 from repro.mem.pagestore import PageStore
 from repro.net.link import Link
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span as _span
 from repro.runtime.frames import (
     FrameCodec,
     FrameError,
@@ -231,44 +233,97 @@ class MigrationSource:
             mode=self.strategy.name,
             link=self.link.name if self.link else "unshaped",
         )
-        started = time.monotonic()
-        retry_index = 0
-        try:
-            while True:
-                try:
-                    await self._attempt(host, port, metrics, dirty_feed)
-                    break
-                except _TRANSPORT_ERRORS as exc:
-                    if retry_index + 1 >= self.config.retry.max_attempts:
-                        raise MigrationError(
-                            "transport",
-                            f"gave up after {retry_index + 1} attempts: "
-                            f"{type(exc).__name__}: {exc}",
-                        ) from exc
-                    metrics.retries += 1
-                    await asyncio.sleep(self.config.retry.backoff(retry_index))
-                    retry_index += 1
-        except MigrationError as exc:
-            metrics.outcome = "failed"
-            metrics.error = str(exc)
-            metrics.wall_time_s = time.monotonic() - started
-            exc.metrics = metrics
-            raise
-        except FrameError as exc:
-            metrics.outcome = "failed"
-            metrics.error = f"[protocol] {exc}"
-            metrics.wall_time_s = time.monotonic() - started
-            raise MigrationError("protocol", str(exc), metrics) from exc
+        with _span(
+            "runtime.migrate",
+            vm=self.state.vm_id,
+            mode=self.strategy.name,
+            link=metrics.link,
+            session=self.session_id,
+        ) as migrate_span:
+            started = time.monotonic()
+            retry_index = 0
+            try:
+                while True:
+                    try:
+                        await self._attempt(host, port, metrics, dirty_feed)
+                        break
+                    except _TRANSPORT_ERRORS as exc:
+                        if retry_index + 1 >= self.config.retry.max_attempts:
+                            raise MigrationError(
+                                "transport",
+                                f"gave up after {retry_index + 1} attempts: "
+                                f"{type(exc).__name__}: {exc}",
+                            ) from exc
+                        metrics.retries += 1
+                        with _span(
+                            "retry",
+                            attempt=retry_index + 1,
+                            cause=type(exc).__name__,
+                        ):
+                            await asyncio.sleep(
+                                self.config.retry.backoff(retry_index)
+                            )
+                        retry_index += 1
+            except MigrationError as exc:
+                metrics.outcome = "failed"
+                metrics.error = str(exc)
+                metrics.wall_time_s = time.monotonic() - started
+                exc.metrics = metrics
+                self._export_metrics(metrics)
+                raise
+            except FrameError as exc:
+                metrics.outcome = "failed"
+                metrics.error = f"[protocol] {exc}"
+                metrics.wall_time_s = time.monotonic() - started
+                self._export_metrics(metrics)
+                raise MigrationError("protocol", str(exc), metrics) from exc
 
-        metrics.outcome = "completed"
-        metrics.wall_time_s = time.monotonic() - started
-        if self._plan is not None:
-            metrics.pages_full = self._plan.full_pages
-            metrics.pages_ref = self._plan.ref_pages
-            metrics.pages_checksum_only = self._plan.checksum_only_pages
-            metrics.pages_skipped = self._plan.skipped_pages
-            metrics.checksummed_pages = self._plan.checksummed_pages
-        return metrics
+            metrics.outcome = "completed"
+            metrics.wall_time_s = time.monotonic() - started
+            if self._plan is not None:
+                metrics.pages_full = self._plan.full_pages
+                metrics.pages_ref = self._plan.ref_pages
+                metrics.pages_checksum_only = self._plan.checksum_only_pages
+                metrics.pages_skipped = self._plan.skipped_pages
+                metrics.checksummed_pages = self._plan.checksummed_pages
+            metrics.validate()
+            migrate_span.set(
+                outcome=metrics.outcome,
+                payload_bytes=metrics.payload_bytes,
+                retries=metrics.retries,
+            ).add_modelled(metrics.modelled_time_s)
+            self._export_metrics(metrics)
+            return metrics
+
+    @staticmethod
+    def _export_metrics(metrics: MigrationMetrics) -> None:
+        """Fold one migration's counters into the shared obs registry.
+
+        :class:`MigrationMetrics` stays the cross-validation harness's
+        source of truth; the registry is the aggregated view the
+        exporters ship alongside the span timeline.
+        """
+        registry = obs_metrics.get_registry()
+        for kind, num_bytes in metrics.bytes_by_type.items():
+            registry.counter(f"runtime.bytes.{kind}").add(num_bytes)
+        for kind, count in metrics.messages_by_type.items():
+            registry.counter(f"runtime.messages.{kind}").add(count)
+        registry.counter("runtime.announce_bytes").add(metrics.announce_bytes)
+        registry.counter("runtime.control_bytes").add(metrics.control_bytes)
+        registry.counter("runtime.retries").add(metrics.retries)
+        registry.counter("runtime.retransmitted_bytes").add(
+            metrics.retransmitted_bytes
+        )
+        registry.counter(f"runtime.migrations.{metrics.outcome}").add(1)
+        durations = registry.histogram(
+            "runtime.round_seconds", obs_metrics.ROUND_SECONDS_BUCKETS
+        )
+        sizes = registry.histogram(
+            "runtime.round_bytes", obs_metrics.PAGE_BYTES_BUCKETS
+        )
+        for round_stats in metrics.rounds:
+            durations.observe(round_stats.duration_s)
+            sizes.observe(round_stats.bytes_sent)
 
     async def _attempt(
         self,
@@ -278,45 +333,52 @@ class MigrationSource:
         dirty_feed: Optional[DirtyFeed],
     ) -> None:
         cfg = self.config
-        stream = await open_shaped_connection(
-            host, port, link=self.link, time_scale=cfg.time_scale,
-            connect_timeout_s=cfg.connect_timeout_s,
-        )
+        with _span("connect", host=host, port=port):
+            stream = await open_shaped_connection(
+                host, port, link=self.link, time_scale=cfg.time_scale,
+                connect_timeout_s=cfg.connect_timeout_s,
+            )
         try:
             recv = stream.recv_with_timeout(cfg.io_timeout_s)
-            announce_known = self.state.known_remote_digests is not None
-            hello = {
-                "session": self.session_id,
-                "vm_id": self.state.vm_id,
-                "num_pages": int(self.state.hashes.shape[0]),
-                "mode": self.strategy.method.value,
-                "page_size": self.codec.page_size,
-                "digest_size": self.codec.digest_size,
-                "algorithm": self.strategy.checksum.name,
-                "announce_known": announce_known,
-            }
-            frame = self.codec.encode_hello(hello)
-            await stream.send(frame)
-            metrics.control_bytes += len(frame)
+            with _span("announce") as announce_span:
+                announce_known = self.state.known_remote_digests is not None
+                hello = {
+                    "session": self.session_id,
+                    "vm_id": self.state.vm_id,
+                    "num_pages": int(self.state.hashes.shape[0]),
+                    "mode": self.strategy.method.value,
+                    "page_size": self.codec.page_size,
+                    "digest_size": self.codec.digest_size,
+                    "algorithm": self.strategy.checksum.name,
+                    "announce_known": announce_known,
+                }
+                frame = self.codec.encode_hello(hello)
+                await stream.send(frame)
+                metrics.control_bytes += len(frame)
 
-            ready = await expect_frame(self.codec, recv, TYPE_READY)
-            metrics.control_bytes += ready.wire_bytes
-            if ready.completed:
-                # A previous attempt's COMPLETE landed; collect the result.
-                await self._finish_result(
-                    await expect_frame(self.codec, recv, TYPE_RESULT), metrics
+                ready = await expect_frame(self.codec, recv, TYPE_READY)
+                metrics.control_bytes += ready.wire_bytes
+                if ready.completed:
+                    # A previous attempt's COMPLETE landed; collect the
+                    # result.
+                    await self._finish_result(
+                        await expect_frame(self.codec, recv, TYPE_RESULT), metrics
+                    )
+                    return
+
+                announced: FrozenSet[bytes] = frozenset()
+                if announce_known:
+                    announced = self.state.known_remote_digests
+                if ready.announce_follows:
+                    announce = await expect_frame(self.codec, recv, TYPE_ANNOUNCE)
+                    metrics.announce_bytes += announce.wire_bytes
+                    if not announce_known:
+                        announced = frozenset(announce.digests)
+                self._build_first_round(announced)
+                announce_span.set(
+                    known=announce_known,
+                    announce_bytes=metrics.announce_bytes,
                 )
-                return
-
-            announced: FrozenSet[bytes] = frozenset()
-            if announce_known:
-                announced = self.state.known_remote_digests
-            if ready.announce_follows:
-                announce = await expect_frame(self.codec, recv, TYPE_ANNOUNCE)
-                metrics.announce_bytes += announce.wire_bytes
-                if not announce_known:
-                    announced = frozenset(announce.digests)
-            self._build_first_round(announced)
 
             await self._stream_rounds(
                 stream, metrics, dirty_feed,
@@ -324,18 +386,22 @@ class MigrationSource:
                 resume_applied=int(ready.applied),
             )
 
-            complete = self.codec.encode_complete(
-                len(self._rounds),
-                self.strategy.checksum.digest(b"".join(self._final_slot_digests())),
-            )
-            await stream.send(complete)
-            metrics.control_bytes += len(complete)
-            await self._finish_result(
-                await expect_frame(self.codec, recv, TYPE_RESULT), metrics
-            )
+            with _span("complete"):
+                complete = self.codec.encode_complete(
+                    len(self._rounds),
+                    self.strategy.checksum.digest(
+                        b"".join(self._final_slot_digests())
+                    ),
+                )
+                await stream.send(complete)
+                metrics.control_bytes += len(complete)
+                await self._finish_result(
+                    await expect_frame(self.codec, recv, TYPE_RESULT), metrics
+                )
         finally:
-            metrics.modelled_time_s += stream.modelled_tx_s
-            await stream.close()
+            with _span("close"):
+                metrics.modelled_time_s += stream.modelled_tx_s
+                await stream.close()
 
     async def _stream_rounds(
         self,
@@ -347,41 +413,50 @@ class MigrationSource:
     ) -> None:
         cfg = self.config
         round_no = resume_round
-        while self._ensure_round(round_no, dirty_feed):
-            sends = self._rounds[round_no - 1]
-            skip = resume_applied if round_no == resume_round else 0
-            if skip > len(sends):
-                raise MigrationError(
-                    "protocol",
-                    f"destination applied {skip} messages of round {round_no}, "
-                    f"which only has {len(sends)}",
-                )
-            remaining = sends[skip:]
-            header = self.codec.encode_round(round_no, len(remaining))
-            await stream.send(header)
-            metrics.control_bytes += len(header)
-            round_started = time.monotonic()
-            round_stats = RoundMetrics(round_no=round_no)
-            buffer = bytearray()
-            counted = self._counted.get(round_no, 0)
-            for index, send in enumerate(remaining, start=skip):
-                frame = self._encode_send(send)
-                buffer += frame
-                if index < counted:
-                    metrics.retransmitted_bytes += len(frame)
-                else:
-                    metrics.count(KIND_NAMES[send.kind], len(frame))
-                    round_stats.messages += 1
-                    round_stats.bytes_sent += len(frame)
-                    self._counted[round_no] = index + 1
-                if len(buffer) >= cfg.chunk_bytes:
+        while True:
+            with _span("round", round_no=round_no) as round_span:
+                if not self._ensure_round(round_no, dirty_feed):
+                    round_span.set(planned=False)
+                    break
+                sends = self._rounds[round_no - 1]
+                skip = resume_applied if round_no == resume_round else 0
+                if skip > len(sends):
+                    raise MigrationError(
+                        "protocol",
+                        f"destination applied {skip} messages of round "
+                        f"{round_no}, which only has {len(sends)}",
+                    )
+                remaining = sends[skip:]
+                header = self.codec.encode_round(round_no, len(remaining))
+                await stream.send(header)
+                metrics.control_bytes += len(header)
+                round_started = time.monotonic()
+                round_stats = RoundMetrics(round_no=round_no)
+                buffer = bytearray()
+                counted = self._counted.get(round_no, 0)
+                for index, send in enumerate(remaining, start=skip):
+                    frame = self._encode_send(send)
+                    buffer += frame
+                    if index < counted:
+                        metrics.retransmitted_bytes += len(frame)
+                    else:
+                        metrics.count(KIND_NAMES[send.kind], len(frame))
+                        round_stats.messages += 1
+                        round_stats.bytes_sent += len(frame)
+                        self._counted[round_no] = index + 1
+                    if len(buffer) >= cfg.chunk_bytes:
+                        await stream.send(bytes(buffer))
+                        buffer.clear()
+                if buffer:
                     await stream.send(bytes(buffer))
-                    buffer.clear()
-            if buffer:
-                await stream.send(bytes(buffer))
-            round_stats.duration_s = time.monotonic() - round_started
-            if round_stats.messages:
-                metrics.rounds.append(round_stats)
+                round_stats.duration_s = time.monotonic() - round_started
+                if round_stats.messages:
+                    metrics.rounds.append(round_stats)
+                round_span.set(
+                    messages=round_stats.messages,
+                    bytes=round_stats.bytes_sent,
+                    resumed_at=skip,
+                )
             round_no += 1
 
     def _encode_send(self, send: PageSend) -> bytes:

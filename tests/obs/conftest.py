@@ -1,0 +1,20 @@
+"""Isolation for the process-global tracer and metrics registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import get_registry, get_tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Start every test with a disabled, empty tracer and registry."""
+    tracer = get_tracer()
+    tracer.disable()
+    tracer.reset()
+    get_registry().reset()
+    yield
+    tracer.disable()
+    tracer.reset()
+    get_registry().reset()

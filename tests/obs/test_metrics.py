@@ -1,0 +1,101 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    PAGE_BYTES_BUCKETS,
+    ROUND_SECONDS_BUCKETS,
+    get_registry,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_accumulates_and_rejects_negative():
+    counter = Counter("c")
+    counter.add()
+    counter.add(2.5)
+    assert counter.value == pytest.approx(3.5)
+    with pytest.raises(ValueError):
+        counter.add(-1)
+    assert counter.snapshot() == {"type": "counter", "value": 3.5}
+
+
+def test_gauge_set_and_add():
+    gauge = Gauge("g")
+    gauge.set(10)
+    gauge.add(-3)
+    assert gauge.value == 7
+    assert gauge.snapshot()["type"] == "gauge"
+
+
+def test_histogram_bucket_placement():
+    hist = Histogram("h", boundaries=(10.0, 100.0))
+    for value in (1, 10, 11, 100, 1000):
+        hist.observe(value)
+    # bisect_left: boundaries are inclusive upper edges
+    assert hist.counts == [2, 2, 1]
+    assert hist.total == 5
+    assert hist.min == 1 and hist.max == 1000
+    assert hist.mean == pytest.approx(1122 / 5)
+    snap = hist.snapshot()
+    assert snap["boundaries"] == [10.0, 100.0]
+    assert snap["counts"] == [2, 2, 1]
+
+
+def test_histogram_rejects_bad_boundaries():
+    with pytest.raises(ValueError):
+        Histogram("h", boundaries=())
+    with pytest.raises(ValueError):
+        Histogram("h", boundaries=(2.0, 1.0))
+
+
+def test_empty_histogram_snapshot_has_null_extremes():
+    snap = Histogram("h", boundaries=(1.0,)).snapshot()
+    assert snap["total"] == 0
+    assert snap["min"] is None and snap["max"] is None
+    assert snap["mean"] == 0.0
+
+
+def test_registry_get_or_create_returns_same_instrument():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("b") is registry.gauge("b")
+    assert registry.histogram("c") is registry.histogram("c")
+    assert registry.names() == ("a", "b", "c")
+
+
+def test_registry_type_mismatch_raises():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+    with pytest.raises(TypeError):
+        registry.histogram("x")
+
+
+def test_registry_snapshot_and_reset():
+    registry = MetricsRegistry()
+    registry.counter("migrations").add(2)
+    registry.histogram("sizes", PAGE_BYTES_BUCKETS).observe(4096)
+    snap = registry.snapshot()
+    assert snap["migrations"]["value"] == 2
+    assert snap["sizes"]["total"] == 1
+    registry.reset()
+    assert registry.names() == ()
+
+
+def test_default_histogram_boundaries_are_round_seconds():
+    registry = MetricsRegistry()
+    hist = registry.histogram("durations")
+    assert hist.boundaries == ROUND_SECONDS_BUCKETS
+
+
+def test_shared_default_registry_identity():
+    assert get_registry() is get_registry()
+
+
+def test_bucket_presets_strictly_increase():
+    for preset in (PAGE_BYTES_BUCKETS, ROUND_SECONDS_BUCKETS):
+        assert all(a < b for a, b in zip(preset, preset[1:]))

@@ -1,0 +1,148 @@
+"""Tracer core: nesting, task isolation, lifecycle, env toggle."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.obs import NOOP_SPAN, get_tracer, span
+from repro.obs.trace import Tracer, configure_from_env
+
+
+def _by_name(records):
+    index = {}
+    for record in records:
+        index.setdefault(record.name, []).append(record)
+    return index
+
+
+def test_disabled_span_is_noop_singleton():
+    tracer = get_tracer()
+    assert not tracer.enabled
+    sp = span("anything", vm="x")
+    assert sp is NOOP_SPAN
+    with sp as inner:
+        inner.set(ignored=1).add_modelled(5.0)
+    assert inner.duration_s == 0.0
+    assert tracer.finished() == []
+
+
+def test_nested_spans_record_parentage():
+    tracer = get_tracer()
+    tracer.enable()
+    with span("outer", vm="a") as outer:
+        with span("middle") as middle:
+            with span("inner") as inner:
+                pass
+        with span("sibling") as sibling:
+            pass
+    records = _by_name(tracer.finished())
+    assert set(records) == {"outer", "middle", "inner", "sibling"}
+    outer_id = records["outer"][0].span_id
+    assert records["outer"][0].parent_id == 0
+    assert records["middle"][0].parent_id == outer_id
+    assert records["sibling"][0].parent_id == outer_id
+    assert records["inner"][0].parent_id == records["middle"][0].span_id
+    # completion order: innermost exits first
+    names = [r.name for r in tracer.finished()]
+    assert names == ["inner", "middle", "sibling", "outer"]
+    assert outer.duration_s >= middle.duration_s >= 0.0
+    assert inner is not NOOP_SPAN and sibling is not NOOP_SPAN
+
+
+def test_span_attributes_and_modelled_clock():
+    tracer = get_tracer()
+    tracer.enable()
+    with span("work", vm="vm0") as sp:
+        sp.set(pages=10).add_modelled(1.5).add_modelled(0.5)
+    record = tracer.finished()[0]
+    assert record.attrs == {"vm": "vm0", "pages": 10}
+    assert record.modelled_s == pytest.approx(2.0)
+    assert record.duration_s >= 0.0
+    assert record.kind == "span"
+
+
+def test_exception_annotates_error_and_still_records():
+    tracer = get_tracer()
+    tracer.enable()
+    with pytest.raises(ValueError):
+        with span("failing"):
+            raise ValueError("boom")
+    record = tracer.finished()[0]
+    assert record.attrs["error"] == "ValueError"
+    # a new root opens cleanly after the failed span unwound
+    with span("after") as sp:
+        pass
+    assert sp.record.parent_id == 0
+
+
+def test_event_records_instant_under_current_span():
+    tracer = get_tracer()
+    tracer.enable()
+    with span("outer"):
+        tracer.event("mark", value=3)
+    records = _by_name(tracer.finished())
+    mark = records["mark"][0]
+    assert mark.kind == "instant"
+    assert mark.duration_s == 0.0
+    assert mark.parent_id == records["outer"][0].span_id
+    assert mark.attrs == {"value": 3}
+
+
+def test_contextvar_isolation_under_asyncio_gather():
+    tracer = get_tracer()
+    tracer.enable()
+
+    async def worker(label: str) -> None:
+        with span(f"root.{label}"):
+            await asyncio.sleep(0)
+            with span(f"child.{label}"):
+                await asyncio.sleep(0)
+
+    async def main() -> None:
+        await asyncio.gather(
+            asyncio.create_task(worker("a"), name="task-a"),
+            asyncio.create_task(worker("b"), name="task-b"),
+        )
+
+    asyncio.run(main())
+    records = _by_name(tracer.finished())
+    for label in ("a", "b"):
+        root = records[f"root.{label}"][0]
+        child = records[f"child.{label}"][0]
+        assert root.parent_id == 0
+        assert child.parent_id == root.span_id
+        assert root.task == f"task-{label}"
+        assert child.task == root.task
+
+
+def test_reset_clears_records_and_restarts_ids():
+    tracer = Tracer(enabled=True)
+    with tracer.span("one"):
+        pass
+    assert tracer.finished()
+    first_id = tracer.finished()[0].span_id
+    tracer.reset()
+    assert tracer.finished() == []
+    with tracer.span("two"):
+        pass
+    assert tracer.finished()[0].span_id == first_id
+
+
+@pytest.mark.parametrize("raw", ["", "0", "false", "off", "no"])
+def test_configure_from_env_falsy_keeps_disabled(raw):
+    assert configure_from_env({"REPRO_TRACE": raw}) is None
+    assert not get_tracer().enabled
+
+
+@pytest.mark.parametrize("raw", ["1", "true", "YES", "on"])
+def test_configure_from_env_truthy_enables(raw):
+    assert configure_from_env({"REPRO_TRACE": raw}) is None
+    assert get_tracer().enabled
+
+
+def test_configure_from_env_path_enables_and_returns_path(tmp_path):
+    path = str(tmp_path / "run.jsonl")
+    assert configure_from_env({"REPRO_TRACE": path}) == path
+    assert get_tracer().enabled

@@ -1,8 +1,21 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import get_registry, get_tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """CLI runs toggle the global tracer; keep tests independent."""
+    yield
+    tracer = get_tracer()
+    tracer.disable()
+    tracer.reset()
+    get_registry().reset()
 
 
 class TestParser:
@@ -11,12 +24,23 @@ class TestParser:
         text = parser.format_help()
         for command in ("table1", "fig1", "fig3", "fig5", "fig6", "fig7",
                         "fig8", "rates", "migrate", "runtime", "postcopy",
-                        "consolidate", "gang", "summary"):
+                        "consolidate", "gang", "summary", "obs"):
             assert command in text
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_every_subcommand_accepts_obs_flags(self):
+        parser = build_parser()
+        for command in ("table1", "fig8", "migrate", "runtime", "obs"):
+            args = parser.parse_args(
+                [command, "--trace-out", "/tmp/t.json", "--format", "jsonl",
+                 "--trace-summary", "-v"]
+            )
+            assert args.trace_out == "/tmp/t.json"
+            assert args.trace_format == "jsonl"
+            assert args.trace_summary and args.verbose == 1
 
 
 class TestCommands:
@@ -110,3 +134,57 @@ class TestCommands:
         assert main(["summary"]) == 0
         out = capsys.readouterr().out
         assert "PASS" in out and "FAIL" not in out
+
+
+class TestObservabilityFlags:
+    def test_runtime_writes_chrome_trace(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main([
+            "runtime", "--size-mib", "4", "--strategy", "vecycle",
+            "--trace-out", str(path), "--format", "chrome",
+        ]) == 0
+        assert "-> completed" in capsys.readouterr().out
+        trace = json.loads(path.read_text())
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert {"runtime.migrate", "connect", "announce", "round",
+                "daemon.session"} <= names
+        assert "runtime.migrations.completed" in trace["otherData"]["metrics"]
+
+    def test_trace_summary_goes_to_stderr(self, capsys):
+        assert main([
+            "migrate", "--size-mib", "32", "--strategy", "vecycle",
+            "--trace-summary",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "similarity to checkpoint" in captured.out
+        assert "migration.simulate" in captured.err
+        assert "migration.simulate" not in captured.out
+
+    def test_obs_demo_with_summary(self, capsys):
+        assert main(["obs", "--size-mib", "4", "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "-> completed" in out
+        assert "runtime.migrate" in out
+
+    def test_obs_converts_jsonl_to_chrome(self, capsys, tmp_path):
+        jsonl = tmp_path / "run.jsonl"
+        chrome = tmp_path / "run.json"
+        assert main([
+            "obs", "--size-mib", "4",
+            "--trace-out", str(jsonl), "--format", "jsonl",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "obs", "--from", str(jsonl),
+            "--trace-out", str(chrome), "--format", "chrome", "--summary",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "loaded" in out and "wrote chrome trace" in out
+        assert "traceEvents" in json.loads(chrome.read_text())
+
+    def test_verbose_logs_stay_off_stdout(self, capsys):
+        assert main(["fig8", "--epochs", "144", "-v"]) == 0
+        captured = capsys.readouterr()
+        assert "vecycle" in captured.out
+        assert "replaying VDI schedule" in captured.err
+        assert "replaying VDI schedule" not in captured.out
