@@ -1,0 +1,257 @@
+"""Performance snapshot for the parallel execution layer.
+
+Measures the sweeps the ``repro.parallel`` layer accelerates and writes
+the numbers to ``BENCH_perf.json``:
+
+* Figure 1 similarity binning — the pre-PR ``intersect1d`` reference
+  kernel vs the vectorized sorted-unique kernel, serial and with 4
+  workers, plus the assertion-backed fact that all three produce
+  byte-identical bins.
+* Figure 8 VDI replay — serial vs 4 workers.
+* Page digest throughput — the byte-faithful sender's per-page copy
+  loop vs the zero-copy chunked pass.
+
+Wall-clock parallel speedup is bounded by the machine, so the snapshot
+records ``cpu_count`` next to every number: on a single-core CI runner
+the honest headline is the kernel speedup (reference vs vectorized,
+machine-independent work reduction), with the worker fan-out adding
+real speedup only where cores exist.  Regression checking therefore
+compares the *scale-free ratios*, never absolute seconds::
+
+    python benchmarks/perf_snapshot.py --out BENCH_perf.json
+    python benchmarks/perf_snapshot.py --quick --check BENCH_perf.json
+
+``--check`` exits non-zero when a ratio regressed by more than
+``--tolerance`` (default 25%) relative to the committed snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.checksum import MD5, PAGE_SIZE  # noqa: E402
+from repro.experiments import fig1_similarity, fig8_vdi  # noqa: E402
+from repro.traces.presets import SERVER_A  # noqa: E402
+from repro.vmm.guest import GuestRAM  # noqa: E402
+
+REFERENCE_SCALE = {"fig1_epochs": 80, "fig8_epochs": 400, "digest_pages": 4096}
+QUICK_SCALE = {"fig1_epochs": 40, "fig8_epochs": 160, "digest_pages": 1024}
+
+# The ratios --check compares, with the direction "bigger is better".
+CHECKED_RATIOS = (
+    "fig1.kernel_speedup",
+    "fig1.best_speedup",
+    "fig8.parallel_speedup",
+    "digest.zero_copy_speedup",
+)
+
+
+def _timed(fn) -> tuple[float, object]:
+    started = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - started, result
+
+
+def _decay_digest(results) -> str:
+    """Stable digest over every bin array of a fig1 result dict."""
+    h = hashlib.sha256()
+    for name in sorted(results):
+        decay = results[name]
+        for arr in (decay.bin_hours, decay.minimum, decay.average,
+                    decay.maximum, decay.counts):
+            h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+def _bench_fig1(epochs: int) -> dict:
+    machines = (SERVER_A,)
+    reference_s, reference = _timed(
+        lambda: {
+            spec.name: fig1_similarity.similarity_decay(
+                fig1_similarity.generate_trace(spec, num_epochs=epochs),
+                max_delta_hours=24.0,
+                max_pairs_per_bin=60,
+                kernel="reference",
+            )
+            for spec in machines
+        }
+    )
+    serial_s, serial = _timed(
+        lambda: fig1_similarity.run(
+            machines=machines, num_epochs=epochs, workers=1
+        )
+    )
+    parallel_s, parallel = _timed(
+        lambda: fig1_similarity.run(
+            machines=machines, num_epochs=epochs, workers=4
+        )
+    )
+    digests = {
+        "reference": _decay_digest(reference),
+        "serial": _decay_digest(serial),
+        "parallel4": _decay_digest(parallel),
+    }
+    if len(set(digests.values())) != 1:
+        raise AssertionError(f"fig1 outputs diverged: {digests}")
+    best_s = min(serial_s, parallel_s)
+    return {
+        "epochs": epochs,
+        "reference_kernel_s": round(reference_s, 4),
+        "serial_s": round(serial_s, 4),
+        "parallel4_s": round(parallel_s, 4),
+        "kernel_speedup": round(reference_s / serial_s, 3),
+        "best_speedup": round(reference_s / best_s, 3),
+        "output_sha256": digests["serial"],
+    }
+
+
+def _bench_fig8(epochs: int) -> dict:
+    serial_s, serial = _timed(lambda: fig8_vdi.run(num_epochs=epochs, workers=1))
+    parallel_s, parallel = _timed(lambda: fig8_vdi.run(num_epochs=epochs, workers=4))
+    pair = [
+        (r.index, r.fingerprint_hours,
+         sorted((m.value, f) for m, f in r.fractions.items()))
+        for r in serial.records
+    ]
+    h = hashlib.sha256(json.dumps(pair).encode()).hexdigest()
+    pair4 = [
+        (r.index, r.fingerprint_hours,
+         sorted((m.value, f) for m, f in r.fractions.items()))
+        for r in parallel.records
+    ]
+    if hashlib.sha256(json.dumps(pair4).encode()).hexdigest() != h:
+        raise AssertionError("fig8 parallel output diverged from serial")
+    return {
+        "epochs": epochs,
+        "serial_s": round(serial_s, 4),
+        "parallel4_s": round(parallel_s, 4),
+        "parallel_speedup": round(serial_s / parallel_s, 3),
+        "migrations": serial.num_migrations,
+        "output_sha256": h,
+    }
+
+
+def _bench_digest(pages: int) -> dict:
+    """Page digest throughput: per-page copies vs the zero-copy pass."""
+    ram = GuestRAM(pages)
+    rng = np.random.default_rng(3)
+    for page in range(pages):
+        ram.write_pattern(page, int(rng.integers(1 << 30)))
+
+    def per_page_copies():
+        return [MD5.digest(ram.read_page(p)) for p in range(pages)]
+
+    def zero_copy():
+        view = ram.view()
+        return [
+            MD5.digest(view[p * PAGE_SIZE : (p + 1) * PAGE_SIZE])
+            for p in range(pages)
+        ]
+
+    copy_s, copied = _timed(per_page_copies)
+    view_s, viewed = _timed(zero_copy)
+    if [bytes(d) for d in copied] != [bytes(d) for d in viewed]:
+        raise AssertionError("digest passes disagree")
+    return {
+        "pages": pages,
+        "per_page_copy_s": round(copy_s, 4),
+        "zero_copy_s": round(view_s, 4),
+        "per_page_copy_pages_per_s": round(pages / copy_s),
+        "zero_copy_pages_per_s": round(pages / view_s),
+        "zero_copy_speedup": round(copy_s / view_s, 3),
+    }
+
+
+def _bench_end_to_end() -> dict:
+    """Wall time of the full default-scale figure pipelines (serial).
+
+    Absolute seconds are machine-dependent and informational only —
+    they are never compared by ``--check``.  They exist so a committed
+    snapshot documents what the sweeps cost on the machine it was taken
+    on (compare against the pre-PR numbers in docs/performance.md).
+    """
+    fig1_s, _ = _timed(lambda: fig1_similarity.run(workers=1))
+    fig8_s, _ = _timed(lambda: fig8_vdi.run(workers=1))
+    return {
+        "fig1_default_s": round(fig1_s, 4),
+        "fig8_default_s": round(fig8_s, 4),
+    }
+
+
+def build_snapshot(quick: bool) -> dict:
+    scale = QUICK_SCALE if quick else REFERENCE_SCALE
+    snapshot = {
+        "schema": 1,
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "fig1": _bench_fig1(scale["fig1_epochs"]),
+        "fig8": _bench_fig8(scale["fig8_epochs"]),
+        "digest": _bench_digest(scale["digest_pages"]),
+    }
+    if not quick:
+        snapshot["end_to_end"] = _bench_end_to_end()
+    return snapshot
+
+
+def _ratio(snapshot: dict, dotted: str) -> float:
+    section, key = dotted.split(".")
+    return float(snapshot[section][key])
+
+
+def check_against(snapshot: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Scale-free regression check; returns a list of failures."""
+    failures = []
+    for name in CHECKED_RATIOS:
+        current = _ratio(snapshot, name)
+        reference = _ratio(baseline, name)
+        floor = reference * (1.0 - tolerance)
+        if current < floor:
+            failures.append(
+                f"{name}: {current:.3f} < {floor:.3f} "
+                f"(baseline {reference:.3f}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced scale (CI smoke)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the snapshot JSON here")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare speedup ratios against a committed "
+                        "snapshot and fail on regression")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative ratio regression (default 0.25)")
+    args = parser.parse_args(argv)
+
+    snapshot = build_snapshot(quick=args.quick)
+    print(json.dumps(snapshot, indent=2))
+    if args.out:
+        Path(args.out).write_text(json.dumps(snapshot, indent=2) + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        failures = check_against(snapshot, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print(f"ratios within {args.tolerance:.0%} of {args.check}",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,10 +11,11 @@ the whole week for Figure 2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.parallel import pmap, resolve_workers
 from repro.traces.generate import Trace
 
 
@@ -54,12 +55,86 @@ class SimilarityDecay:
         )
 
 
+def pair_similarities(
+    uniques: Sequence[np.ndarray],
+    earlier_indices: np.ndarray,
+    later_indices: np.ndarray,
+) -> np.ndarray:
+    """Similarity ``|U_later ∩ U_earlier| / |U_later|`` for many pairs.
+
+    ``uniques`` holds each fingerprint's *sorted* unique-hash array
+    (what :meth:`~repro.core.fingerprint.Fingerprint.unique_hashes`
+    returns).  Because both sides are sorted and duplicate-free, the
+    intersection size is a single :func:`numpy.searchsorted` membership
+    count — no per-pair re-sorting, unlike :func:`numpy.intersect1d`.
+    """
+    values = np.empty(earlier_indices.shape[0])
+    for i in range(earlier_indices.shape[0]):
+        earlier = uniques[int(earlier_indices[i])]
+        later = uniques[int(later_indices[i])]
+        if later.shape[0] == 0 or earlier.shape[0] == 0:
+            values[i] = 0.0
+            continue
+        positions = np.searchsorted(earlier, later)
+        np.minimum(positions, earlier.shape[0] - 1, out=positions)
+        shared = int(np.count_nonzero(earlier[positions] == later))
+        values[i] = shared / later.shape[0]
+    return values
+
+
+def pair_similarities_reference(
+    uniques: Sequence[np.ndarray],
+    earlier_indices: np.ndarray,
+    later_indices: np.ndarray,
+) -> np.ndarray:
+    """Reference kernel: per-pair :func:`numpy.intersect1d`.
+
+    The pre-optimization implementation, kept for cross-validation
+    (tests assert the fast kernel matches it exactly) and as the
+    baseline the perf snapshot measures speedups against.
+    """
+    values = np.empty(earlier_indices.shape[0])
+    for i in range(earlier_indices.shape[0]):
+        earlier = uniques[int(earlier_indices[i])]
+        later = uniques[int(later_indices[i])]
+        shared = np.intersect1d(later, earlier, assume_unique=True)
+        values[i] = shared.shape[0] / later.shape[0] if later.shape[0] else 0.0
+    return values
+
+
+def _pack_uniques(
+    uniques: Sequence[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten per-fingerprint unique arrays for cheap worker pickling."""
+    offsets = np.zeros(len(uniques) + 1, dtype=np.int64)
+    np.cumsum([u.shape[0] for u in uniques], out=offsets[1:])
+    packed = (
+        np.concatenate(uniques)
+        if uniques
+        else np.empty(0, dtype=np.uint64)
+    )
+    return packed, offsets
+
+
+def _similarity_shard(
+    payload: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+) -> np.ndarray:
+    """Worker task: unpack the unique arrays and run the fast kernel."""
+    packed, offsets, earlier_indices, later_indices = payload
+    uniques = [
+        packed[offsets[i] : offsets[i + 1]] for i in range(offsets.shape[0] - 1)
+    ]
+    return pair_similarities(uniques, earlier_indices, later_indices)
+
+
 def similarity_decay(
     trace: Trace,
     max_delta_hours: float = 24.0,
     bin_minutes: float = 30.0,
     max_pairs_per_bin: Optional[int] = None,
     seed: int = 0,
+    workers: Optional[int] = None,
+    kernel: str = "sorted-unique",
 ) -> SimilarityDecay:
     """Bin all fingerprint pairs of ``trace`` by time delta.
 
@@ -76,50 +151,97 @@ def similarity_decay(
             speed knob; None (default) evaluates every pair like the
             paper.
         seed: RNG seed for the subsampling.
+        workers: Worker processes to shard the pair evaluation across
+            (``None`` defers to ``REPRO_WORKERS``, 1 runs serially).
+            Results are byte-identical at any worker count.
+        kernel: ``"sorted-unique"`` (searchsorted membership counts, the
+            fast path) or ``"reference"`` (the per-pair ``intersect1d``
+            baseline, kept for cross-validation).
     """
     if bin_minutes <= 0:
         raise ValueError(f"bin_minutes must be > 0, got {bin_minutes}")
+    if kernel not in ("sorted-unique", "reference"):
+        raise ValueError(f"unknown similarity kernel {kernel!r}")
     prints = trace.fingerprints
     if len(prints) < 2:
         raise ValueError("trace needs at least two fingerprints")
     bin_seconds = bin_minutes * 60.0
     max_delta_s = max_delta_hours * 3600.0
     num_bins = int(np.ceil(max_delta_s / bin_seconds))
-    per_bin: List[List[tuple[int, int]]] = [[] for _ in range(num_bins)]
 
+    # Enumerate eligible pairs, vectorized per earlier-fingerprint: the
+    # pair order (ascending a, then ascending b) matches the former
+    # append loop, keeping the per-bin subsampling draws identical.
     timestamps = np.asarray([fp.timestamp for fp in prints])
+    pair_a_parts: List[np.ndarray] = []
+    pair_b_parts: List[np.ndarray] = []
+    pair_bin_parts: List[np.ndarray] = []
     for a in range(len(prints)):
         deltas = timestamps[a + 1 :] - timestamps[a]
-        eligible = np.where((deltas >= bin_seconds / 2) & (deltas < max_delta_s))[0]
-        for offset in eligible:
-            b = a + 1 + int(offset)
-            # Bin k covers [ (k+0.5)*w, (k+1.5)*w ) like the paper's
-            # [15, 45) / [45, 75) minute buckets.
-            bin_index = int((deltas[offset] - bin_seconds / 2) // bin_seconds)
-            if 0 <= bin_index < num_bins:
-                per_bin[bin_index].append((a, b))
+        eligible = np.nonzero(
+            (deltas >= bin_seconds / 2) & (deltas < max_delta_s)
+        )[0]
+        if eligible.size == 0:
+            continue
+        # Bin k covers [ (k+0.5)*w, (k+1.5)*w ) like the paper's
+        # [15, 45) / [45, 75) minute buckets.
+        bins = ((deltas[eligible] - bin_seconds / 2) // bin_seconds).astype(
+            np.int64
+        )
+        in_range = (bins >= 0) & (bins < num_bins)
+        if not in_range.any():
+            continue
+        pair_a_parts.append(np.full(int(in_range.sum()), a, dtype=np.int64))
+        pair_b_parts.append(a + 1 + eligible[in_range])
+        pair_bin_parts.append(bins[in_range])
+    if pair_a_parts:
+        pair_a = np.concatenate(pair_a_parts)
+        pair_b = np.concatenate(pair_b_parts)
+        pair_bin = np.concatenate(pair_bin_parts)
+    else:
+        pair_a = pair_b = pair_bin = np.empty(0, dtype=np.int64)
 
+    # Per-bin subsampling (bin order, one RNG — identical draws to the
+    # original per-bin list implementation), flattened back into one
+    # selection so the kernel and the worker sharding see a single
+    # contiguous pair list.
     rng = np.random.default_rng(seed)
+    selected_a: List[np.ndarray] = []
+    selected_b: List[np.ndarray] = []
+    bin_slices: List[tuple[int, int, int]] = []  # (bin_index, start, stop)
+    cursor = 0
+    for bin_index in range(num_bins):
+        members = np.nonzero(pair_bin == bin_index)[0]
+        if members.size == 0:
+            continue
+        if max_pairs_per_bin is not None and members.size > max_pairs_per_bin:
+            chosen = rng.choice(
+                members.size, size=max_pairs_per_bin, replace=False
+            )
+            members = members[chosen]
+        selected_a.append(pair_a[members])
+        selected_b.append(pair_b[members])
+        bin_slices.append((bin_index, cursor, cursor + members.size))
+        cursor += members.size
+
     uniques = [fp.unique_hashes() for fp in prints]
+    if selected_a:
+        all_a = np.concatenate(selected_a)
+        all_b = np.concatenate(selected_b)
+        values = _evaluate_pairs(uniques, all_a, all_b, workers, kernel)
+    else:
+        values = np.empty(0)
+
     minimum = np.full(num_bins, np.nan)
     average = np.full(num_bins, np.nan)
     maximum = np.full(num_bins, np.nan)
     counts = np.zeros(num_bins, dtype=np.int64)
-    for bin_index, pairs in enumerate(per_bin):
-        if not pairs:
-            continue
-        if max_pairs_per_bin is not None and len(pairs) > max_pairs_per_bin:
-            chosen = rng.choice(len(pairs), size=max_pairs_per_bin, replace=False)
-            pairs = [pairs[i] for i in chosen]
-        values = np.empty(len(pairs))
-        for i, (a, b) in enumerate(pairs):
-            later, earlier = uniques[b], uniques[a]
-            shared = np.intersect1d(later, earlier, assume_unique=True)
-            values[i] = shared.shape[0] / later.shape[0] if later.shape[0] else 0.0
-        minimum[bin_index] = values.min()
-        average[bin_index] = values.mean()
-        maximum[bin_index] = values.max()
-        counts[bin_index] = len(values)
+    for bin_index, start, stop in bin_slices:
+        bin_values = values[start:stop]
+        minimum[bin_index] = bin_values.min()
+        average[bin_index] = bin_values.mean()
+        maximum[bin_index] = bin_values.max()
+        counts[bin_index] = bin_values.shape[0]
 
     bin_hours = (np.arange(num_bins) + 1) * (bin_minutes / 60.0)
     return SimilarityDecay(
@@ -130,3 +252,36 @@ def similarity_decay(
         maximum=maximum,
         counts=counts,
     )
+
+
+def _evaluate_pairs(
+    uniques: Sequence[np.ndarray],
+    earlier_indices: np.ndarray,
+    later_indices: np.ndarray,
+    workers: Optional[int],
+    kernel: str,
+) -> np.ndarray:
+    """Run the similarity kernel, sharding across workers if asked.
+
+    Sharding splits the pair list into one contiguous chunk per worker
+    (the packed unique arrays are pickled once per chunk); the ordered
+    merge keeps the value sequence — and therefore every downstream
+    statistic — byte-identical to the serial evaluation.
+    """
+    if kernel == "reference":
+        return pair_similarities_reference(uniques, earlier_indices, later_indices)
+    resolved = resolve_workers(workers)
+    # Below ~4 chunks' worth of pairs the pickling of the unique arrays
+    # costs more than the fan-out saves.
+    if resolved == 1 or earlier_indices.shape[0] < 4 * resolved:
+        return pair_similarities(uniques, earlier_indices, later_indices)
+    packed, offsets = _pack_uniques(uniques)
+    shards = [
+        (packed, offsets, chunk_a, chunk_b)
+        for chunk_a, chunk_b in zip(
+            np.array_split(earlier_indices, resolved),
+            np.array_split(later_indices, resolved),
+        )
+        if chunk_a.shape[0]
+    ]
+    return np.concatenate(pmap(_similarity_shard, shards, workers=resolved))

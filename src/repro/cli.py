@@ -63,6 +63,7 @@ from repro.obs import (
     read_jsonl,
     summary_tree,
 )
+from repro.parallel import ENV_WORKERS
 
 MIB = 2**20
 
@@ -72,7 +73,7 @@ def _cmd_table1(_args: argparse.Namespace) -> str:
 
 
 def _cmd_fig1(args: argparse.Namespace) -> str:
-    results = fig1_similarity.run(num_epochs=args.epochs)
+    results = fig1_similarity.run(num_epochs=args.epochs, workers=args.workers)
     output = fig1_similarity.format_table(results)
     if getattr(args, "plot", False):
         from repro.analysis.asciiplot import line_plot
@@ -97,7 +98,7 @@ def _cmd_fig1(args: argparse.Namespace) -> str:
 
 
 def _cmd_fig2(args: argparse.Namespace) -> str:
-    decay = fig2_week.run(num_epochs=args.epochs)
+    decay = fig2_week.run(num_epochs=args.epochs, workers=args.workers)
     output = fig2_week.format_table(decay)
     if getattr(args, "plot", False):
         from repro.analysis.asciiplot import line_plot
@@ -120,7 +121,9 @@ def _cmd_fig4(args: argparse.Namespace) -> str:
 
 
 def _cmd_fig5(args: argparse.Namespace) -> str:
-    result = fig5_methods.run(num_epochs=args.epochs, max_pairs=args.pairs)
+    result = fig5_methods.run(
+        num_epochs=args.epochs, max_pairs=args.pairs, workers=args.workers
+    )
     output = fig5_methods.format_table(result)
     if getattr(args, "plot", False):
         from repro.analysis.asciiplot import bar_chart, cdf_plot
@@ -245,11 +248,15 @@ def _cmd_fig6(args: argparse.Namespace) -> str:
 
 def _cmd_fig7(args: argparse.Namespace) -> str:
     memory = 1024 if args.quick else 4096
-    return fig7_updates.format_table(fig7_updates.run(memory_mib=memory))
+    return fig7_updates.format_table(
+        fig7_updates.run(memory_mib=memory, workers=args.workers)
+    )
 
 
 def _cmd_fig8(args: argparse.Namespace) -> str:
-    return fig8_vdi.format_table(fig8_vdi.run(num_epochs=args.epochs))
+    return fig8_vdi.format_table(
+        fig8_vdi.run(num_epochs=args.epochs, workers=args.workers)
+    )
 
 
 def _cmd_summary(args: argparse.Namespace) -> str:
@@ -395,6 +402,13 @@ def _cmd_obs(args: argparse.Namespace) -> str:
 def _obs_options() -> argparse.ArgumentParser:
     """Shared observability flags, attached to every subcommand."""
     common = argparse.ArgumentParser(add_help=False)
+    perf = common.add_argument_group("parallelism")
+    perf.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for sweeps that support sharding "
+        "(fig1/fig2/fig5/fig7/fig8); 0 = all cores; default is the "
+        f"{ENV_WORKERS} environment variable, else serial",
+    )
     group = common.add_argument_group("observability")
     group.add_argument(
         "--trace-out", metavar="PATH", default=None,

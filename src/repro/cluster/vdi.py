@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.analysis.methods import pair_fractions
 from repro.cluster.schedule import MigrationEvent, vdi_schedule
@@ -28,6 +30,7 @@ from repro.core.fingerprint import Fingerprint
 from repro.core.transfer import Method
 from repro.obs.log import get_logger
 from repro.obs.trace import NOOP_SPAN, span as _span
+from repro.parallel import pmap, resolve_workers
 from repro.traces.generate import Trace
 
 log = get_logger(__name__)
@@ -87,10 +90,50 @@ def _fingerprint_at(trace: Trace, hours: float) -> tuple[Fingerprint, float]:
     return trace.fingerprints[best], timestamps[best] / 3600.0
 
 
+def _first_migration_fractions(
+    current_hashes: np.ndarray, methods: Sequence[Method]
+) -> Dict[Method, float]:
+    """Fractions when no checkpoint exists anywhere yet."""
+    n = current_hashes.shape[0]
+    fractions: Dict[Method, float] = {}
+    for method in methods:
+        if method.uses_dedup:
+            full_mask, _ = dedup_split(current_hashes)
+            fractions[method] = int(full_mask.sum()) / n
+        else:
+            fractions[method] = 1.0
+    return fractions
+
+
+def _vdi_fractions_shard(
+    payload: Tuple[List[np.ndarray], bool, Tuple[Method, ...]],
+) -> List[Dict[Method, float]]:
+    """Worker task for :func:`replay_vdi`.
+
+    ``payload`` is a contiguous run of the schedule: the hash arrays of
+    the fingerprints it touches, plus whether the first array is the
+    carried-in checkpoint from the previous chunk (rather than this
+    chunk's first migration).  Each fingerprint ships to at most one
+    worker, so pickle traffic stays proportional to the trace.
+    """
+    hash_arrays, has_carry, methods = payload
+    previous = hash_arrays[0] if has_carry else None
+    out: List[Dict[Method, float]] = []
+    for current in hash_arrays[1 if has_carry else 0 :]:
+        if previous is None:
+            out.append(_first_migration_fractions(current, methods))
+        else:
+            index = ChecksumIndex(Fingerprint(hashes=previous))
+            out.append(pair_fractions(current, previous, index, methods))
+        previous = current
+    return out
+
+
 def replay_vdi(
     trace: Trace,
     schedule: Optional[Sequence[MigrationEvent]] = None,
     methods: Sequence[Method] = VDI_METHODS,
+    workers: Optional[int] = None,
 ) -> VdiResult:
     """Replay ``trace`` through the VDI schedule.
 
@@ -99,6 +142,12 @@ def replay_vdi(
         schedule: Migration events; defaults to the §4.6 schedule
             (9 am / 5 pm on the first 13 weekdays).
         methods: Techniques to evaluate per migration.
+        workers: Worker processes to shard the per-migration evaluation
+            across.  Each migration only needs the fingerprint of the
+            *previous* one, which is known from the schedule alone, so
+            contiguous runs of migrations fan out cleanly with
+            byte-identical results at any worker count.  The serial
+            path additionally emits per-migration obs spans.
 
     The first migration has no checkpoint anywhere: checkpoint-based
     methods fall back to their dedup/full behaviour for it, exactly as
@@ -114,48 +163,69 @@ def replay_vdi(
         migrations=len(schedule),
         ram_gib=round(trace.ram_bytes / 2**30, 2),
     )
+    events = sorted(schedule, key=lambda e: e.time_hours)
+    picks = [_fingerprint_at(trace, event.time_hours) for event in events]
+    methods = tuple(methods)
+    resolved = resolve_workers(workers)
     records: List[VdiMigrationRecord] = []
-    previous_fingerprint: Optional[Fingerprint] = None
-    previous_index: Optional[ChecksumIndex] = None
-    with _span("vdi.replay", migrations=len(schedule)) as replay_span:
-        for index, event in enumerate(sorted(schedule, key=lambda e: e.time_hours)):
-            with _span("vdi.migration", index=index) as sp:
-                current, at_hours = _fingerprint_at(trace, event.time_hours)
-                fractions: Dict[Method, float] = {}
-                if previous_fingerprint is None:
-                    # First migration: no checkpoint exists at any host.
-                    n = current.num_pages
-                    for method in methods:
-                        if method.uses_dedup:
-                            full_mask, _ = dedup_split(current.hashes)
-                            fractions[method] = int(full_mask.sum()) / n
-                        else:
-                            fractions[method] = 1.0
-                else:
-                    fractions = pair_fractions(
-                        current.hashes,
-                        previous_fingerprint.hashes,
-                        previous_index,
-                        methods,
-                    )
-                if sp is not NOOP_SPAN:
-                    sp.set(
-                        source=event.source,
-                        destination=event.destination,
-                        hours=round(at_hours, 2),
-                        first=previous_fingerprint is None,
-                    )
-            records.append(
-                VdiMigrationRecord(
-                    index=index,
-                    event=event,
-                    fingerprint_hours=at_hours,
-                    fractions=fractions,
+    with _span("vdi.replay", migrations=len(events)) as replay_span:
+        if resolved == 1 or len(events) < 2 * resolved:
+            previous_fingerprint: Optional[Fingerprint] = None
+            previous_index: Optional[ChecksumIndex] = None
+            per_migration: List[Dict[Method, float]] = []
+            for index, event in enumerate(events):
+                with _span("vdi.migration", index=index) as sp:
+                    current, at_hours = picks[index]
+                    if previous_fingerprint is None:
+                        # First migration: no checkpoint exists at any host.
+                        fractions = _first_migration_fractions(
+                            current.hashes, methods
+                        )
+                    else:
+                        fractions = pair_fractions(
+                            current.hashes,
+                            previous_fingerprint.hashes,
+                            previous_index,
+                            methods,
+                        )
+                    if sp is not NOOP_SPAN:
+                        sp.set(
+                            source=event.source,
+                            destination=event.destination,
+                            hours=round(at_hours, 2),
+                            first=previous_fingerprint is None,
+                        )
+                per_migration.append(fractions)
+                # The source stores this state as the checkpoint the next
+                # migration (back to it) will reuse.
+                previous_fingerprint = current
+                previous_index = ChecksumIndex(current)
+        else:
+            shards = []
+            for chunk in np.array_split(np.arange(len(events)), resolved):
+                if chunk.shape[0] == 0:
+                    continue
+                start, stop = int(chunk[0]), int(chunk[-1]) + 1
+                has_carry = start > 0
+                arrays = [picks[i][0].hashes for i in range(start, stop)]
+                if has_carry:
+                    arrays.insert(0, picks[start - 1][0].hashes)
+                shards.append((arrays, has_carry, methods))
+            per_migration = [
+                fractions
+                for chunk_result in pmap(
+                    _vdi_fractions_shard, shards, workers=resolved
                 )
+                for fractions in chunk_result
+            ]
+        records = [
+            VdiMigrationRecord(
+                index=index,
+                event=event,
+                fingerprint_hours=picks[index][1],
+                fractions=per_migration[index],
             )
-            # The source stores this state as the checkpoint the next
-            # migration (back to it) will reuse.
-            previous_fingerprint = current
-            previous_index = ChecksumIndex(current)
+            for index, event in enumerate(events)
+        ]
         replay_span.set(migrations=len(records))
     return VdiResult(ram_bytes=trace.ram_bytes, records=records)

@@ -18,6 +18,8 @@ from typing import Iterable, Set
 
 import numpy as np
 
+from repro.core.fingerprint import sorted_unique
+
 DEDUP_REF_BYTES = 8
 """Wire size of a 'page equals cache entry N' reference message."""
 
@@ -58,7 +60,7 @@ def dedup_unique_count(hashes: Iterable[int] | np.ndarray) -> int:
     array = np.asarray(list(hashes) if not isinstance(hashes, np.ndarray) else hashes)
     if array.size == 0:
         return 0
-    return int(np.unique(array).shape[0])
+    return int(sorted_unique(array).shape[0])
 
 
 def dedup_split(hashes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

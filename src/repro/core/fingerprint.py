@@ -29,6 +29,24 @@ ZERO_HASH = np.uint64(0)
 """Reserved content hash for the all-zeros page."""
 
 
+def sorted_unique(values: np.ndarray) -> np.ndarray:
+    """Sorted distinct values — ``np.unique`` without its hash-table pass.
+
+    ``np.unique`` on integer dtypes routes through a hash-based
+    deduplication that is an order of magnitude slower than a plain
+    sort for page-hash arrays; sort-then-mask returns the identical
+    array and is the single hottest primitive of the similarity sweep.
+    """
+    values = np.asarray(values)
+    if values.shape[0] == 0:
+        return values.copy()
+    ordered = np.sort(values)
+    keep = np.empty(ordered.shape[0], dtype=bool)
+    keep[0] = True
+    np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
+    return ordered[keep]
+
+
 @dataclass(frozen=True)
 class Fingerprint:
     """One memory fingerprint: per-page content hashes at a point in time.
@@ -63,7 +81,7 @@ class Fingerprint:
         """Sorted array of unique page hashes (the set ``U``)."""
         cached = self._unique_cache.get("unique")
         if cached is None:
-            cached = np.unique(self.hashes)
+            cached = sorted_unique(self.hashes)
             self._unique_cache["unique"] = cached
         return cached
 

@@ -19,14 +19,20 @@ def run(
     num_epochs: Optional[int] = None,
     max_delta_hours: float = 180.0,
     max_pairs_per_bin: Optional[int] = 40,
+    workers: Optional[int] = None,
 ) -> SimilarityDecay:
-    """Bin all pairs of the full trace out to ``max_delta_hours``."""
+    """Bin all pairs of the full trace out to ``max_delta_hours``.
+
+    A single machine, so the fan-out (``workers > 1``) shards the pair
+    evaluation itself inside :func:`similarity_decay`.
+    """
     trace = generate_trace(machine, num_epochs=num_epochs)
     return similarity_decay(
         trace,
         max_delta_hours=max_delta_hours,
         max_pairs_per_bin=max_pairs_per_bin,
         bin_minutes=120.0,
+        workers=workers,
     )
 
 

@@ -10,12 +10,14 @@ and the laptops.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from functools import partial
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.methods import MethodComparison, compare_methods_over_trace
 from repro.core.transfer import Method, PAPER_METHODS
+from repro.parallel import pmap
 from repro.traces.generate import generate_trace
 from repro.traces.presets import LAPTOPS, MachineSpec, SERVERS
 
@@ -36,24 +38,39 @@ class Figure5Result:
         return self.comparisons[machine].reduction_over()
 
 
+def _machine_comparison(
+    spec: MachineSpec,
+    num_epochs: Optional[int],
+    max_pairs: Optional[int],
+    seed: int,
+) -> Tuple[str, MethodComparison]:
+    """One shard: regenerate a machine's trace and sweep its pairs."""
+    trace = generate_trace(spec, num_epochs=num_epochs)
+    return spec.name, compare_methods_over_trace(
+        trace, methods=PAPER_METHODS, max_pairs=max_pairs, seed=seed
+    )
+
+
 def run(
     machines: Sequence[MachineSpec] = SERVERS + LAPTOPS,
     num_epochs: Optional[int] = None,
     max_pairs: Optional[int] = 500,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> Figure5Result:
     """Evaluate the five paper methods over each machine's pairs.
 
     ``max_pairs`` subsamples the quadratic pair set; None evaluates all
-    pairs exactly like the paper.
+    pairs exactly like the paper.  ``workers > 1`` fans the machines
+    out across a process pool with byte-identical results.
     """
-    comparisons = {}
-    for spec in machines:
-        trace = generate_trace(spec, num_epochs=num_epochs)
-        comparisons[spec.name] = compare_methods_over_trace(
-            trace, methods=PAPER_METHODS, max_pairs=max_pairs, seed=seed
-        )
-    return Figure5Result(comparisons=comparisons)
+    shard = partial(
+        _machine_comparison,
+        num_epochs=num_epochs,
+        max_pairs=max_pairs,
+        seed=seed,
+    )
+    return Figure5Result(comparisons=dict(pmap(shard, machines, workers=workers)))
 
 
 def format_table(result: Figure5Result) -> str:

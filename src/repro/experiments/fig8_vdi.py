@@ -23,11 +23,16 @@ log = get_logger(__name__)
 def run(
     machine: MachineSpec = DESKTOP,
     num_epochs: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> VdiResult:
-    """Generate the desktop trace and replay the VDI schedule."""
+    """Generate the desktop trace and replay the VDI schedule.
+
+    ``workers > 1`` shards the per-migration evaluation across a
+    process pool; results are byte-identical at any worker count.
+    """
     log.info("generating desktop trace", machine=machine.name, epochs=num_epochs)
     trace = generate_trace(machine, num_epochs=num_epochs)
-    result = replay_vdi(trace)
+    result = replay_vdi(trace, workers=workers)
     log.info(
         "VDI replay done",
         migrations=result.num_migrations,

@@ -31,7 +31,40 @@ from repro.core.fingerprint import ZERO_HASH, Fingerprint
 # a per-image counter would let two images hand out the same id for
 # different content — a phantom match.  Boxed in a list so clones can
 # keep sharing it.
+#
+# FORK/SPAWN ALIASING HAZARD: this counter is *process*-global, not
+# machine-global.  A forked worker inherits the parent's counter
+# position, so two sibling workers allocate the SAME ids for DIFFERENT
+# content; merging their fingerprints then manufactures phantom
+# content matches (pages that compare equal by id but were never
+# byte-identical).  Spawned workers restart at 1 and alias the parent
+# instead.  Multiprocess code must therefore either (a) build every
+# image from an explicit ``namespace`` seed — what the trace generator
+# does, and what ``repro.parallel`` requires of its shard functions —
+# or (b) call :func:`isolate_worker_allocator` at worker startup, which
+# ``repro.parallel``'s pool initializer does as defense in depth.
 _GLOBAL_NEXT_ID = [np.uint64(1)]
+
+_WORKER_NAMESPACE_BIT = np.uint64(1) << np.uint64(63)
+"""High bit reserved for worker-isolated allocator ranges, keeping them
+disjoint from both the parent's global ids (which start at 1) and any
+explicit ``namespace`` range (bits 40..62)."""
+
+
+def isolate_worker_allocator(worker_key: int) -> None:
+    """Move this process's global allocator into a private id range.
+
+    Called by ``repro.parallel``'s worker initializer with the worker
+    pid.  After the call, ids allocated through the global counter carry
+    the top bit plus a 23-bit fold of ``worker_key``, so they can never
+    collide with ids the parent (or a sibling worker) already handed
+    out.  This guards against the fork-aliasing hazard above; it does
+    NOT make global-allocator ids reproducible across runs — shard
+    functions that need determinism must build images with explicit
+    ``namespace`` seeds.
+    """
+    folded = (int(worker_key) % ((1 << 23) - 1)) + 1
+    _GLOBAL_NEXT_ID[0] = _WORKER_NAMESPACE_BIT | np.uint64((folded << 40) + 1)
 
 
 class MemoryImage:
@@ -142,6 +175,56 @@ class MemoryImage:
         """Set ``slots`` to an explicit content id (e.g. a shared-pool page)."""
         slots = self._check_slots(slots)
         self._slots[slots] = np.uint64(content_id)
+
+    def write_contents(self, slots: np.ndarray, content_ids: np.ndarray) -> None:
+        """Elementwise: set ``slots[i]`` to ``content_ids[i]``.
+
+        The batched form of :meth:`write_content` — one call for a whole
+        recall batch instead of one call per page.
+        """
+        slots = self._check_slots(slots)
+        content_ids = np.asarray(content_ids, dtype=np.uint64)
+        if content_ids.shape[0] != slots.shape[0]:
+            raise ValueError(
+                f"slots and content_ids must match: {slots.shape[0]} vs "
+                f"{content_ids.shape[0]}"
+            )
+        self._slots[slots] = content_ids
+
+    def write_duplicates_from(
+        self, slots: np.ndarray, source_slots: np.ndarray
+    ) -> None:
+        """Elementwise: make ``slots[i]`` a copy of ``source_slots[i]``.
+
+        The batched form of :meth:`write_duplicate_of` for duplicate
+        write bursts (shared libraries, page cache).  Semantics match
+        the equivalent sequential loop exactly: a source that is itself
+        a target earlier in the batch contributes its *newly written*
+        contents.  ``slots`` must be distinct.
+        """
+        slots = self._check_slots(slots)
+        source_slots = self._check_slots(source_slots)
+        if source_slots.shape[0] != slots.shape[0]:
+            raise ValueError(
+                f"slots and source_slots must match: {slots.shape[0]} vs "
+                f"{source_slots.shape[0]}"
+            )
+        gathered = self._slots[source_slots]
+        # Bitmap probe instead of np.isin: O(pages) marks beat a sort of
+        # the batch on every epoch's duplicate burst.
+        is_target = np.zeros(self.num_pages, dtype=bool)
+        is_target[slots] = True
+        colliding = is_target[source_slots]
+        if colliding.any():
+            # Rare: a source slot is also overwritten by this batch.
+            # Resolve those entries in loop order; each target slot is
+            # written once, so gathered[i] is final once index i passes.
+            position_of = {int(slot): i for i, slot in enumerate(slots)}
+            for j in np.nonzero(colliding)[0]:
+                i = position_of.get(int(source_slots[j]))
+                if i is not None and i < j:
+                    gathered[j] = gathered[i]
+        self._slots[slots] = gathered
 
     def zero(self, slots: np.ndarray) -> None:
         """Zero-fill ``slots`` (freed memory returned to the allocator)."""

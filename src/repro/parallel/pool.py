@@ -1,0 +1,164 @@
+"""``pmap``: chunked, ordered, deterministic process-pool mapping.
+
+Design notes
+------------
+
+* Shards are submitted in **contiguous chunks** (``chunk_size`` items
+  per task) to amortize pickling and process-dispatch overhead; results
+  are concatenated in submission order, so the output list is always
+  ``[fn(shard) for shard in shards]`` regardless of worker scheduling.
+* When a ``seed`` is given, each shard is called as ``fn(shard,
+  shard_seed(seed, index))``.  The derived seed depends only on the
+  submission index, never on which worker runs the shard — the
+  determinism contract that makes ``workers=N`` byte-identical to
+  serial.
+* Worker processes run :func:`_worker_init` on startup, which moves the
+  process-global content-id allocator of :mod:`repro.mem.image` into a
+  worker-private namespace.  Shard functions that build images should
+  still pass explicit ``namespace=`` seeds (the trace generator does);
+  the initializer is defense in depth against fork aliasing for any
+  code path that falls back to the global allocator.
+* ``fn`` must be picklable (a module-level function or a
+  ``functools.partial`` of one); shard payloads and results travel
+  through pickle, so keep them to numpy arrays and plain dataclasses.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+ENV_WORKERS = "REPRO_WORKERS"
+"""Environment variable consulted when no explicit worker count is given."""
+
+_SEED_MIX = 0x9E3779B97F4A7C15
+"""Odd 64-bit constant (golden-ratio mix) for shard-seed derivation."""
+
+S = TypeVar("S")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve a worker count: argument > ``REPRO_WORKERS`` env > 1.
+
+    ``0`` (from either source) means "all visible cores".  Negative
+    values raise.
+    """
+    if workers is None:
+        raw = os.environ.get(ENV_WORKERS, "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{ENV_WORKERS} must be an integer, got {raw!r}"
+                ) from exc
+        else:
+            workers = 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    return workers
+
+
+def shard_seed(seed: int, index: int) -> int:
+    """Deterministic per-shard seed from ``(seed, submission index)``.
+
+    A multiplicative mix keeps neighbouring indices far apart in seed
+    space while remaining a pure function of its inputs — the same
+    shard always sees the same seed, no matter which worker runs it or
+    how shards are chunked.
+    """
+    mixed = (seed * 0x100000001B3 + (index + 1) * _SEED_MIX) & 0xFFFFFFFFFFFFFFFF
+    mixed ^= mixed >> 31
+    return mixed & 0x7FFFFFFF
+
+
+def _worker_init() -> None:
+    """Per-worker startup: isolate the global content-id allocator.
+
+    Runs in the child process.  See the fork-aliasing hazard note in
+    :mod:`repro.mem.image`: a forked child inherits the parent's
+    allocator position, so two children would hand out the *same* ids
+    for *different* content.  Re-namespacing by pid makes the ranges
+    disjoint.  (Shard-level determinism must still come from explicit
+    namespaces; pids are not reproducible.)
+    """
+    from repro.mem.image import isolate_worker_allocator
+
+    isolate_worker_allocator(os.getpid())
+
+
+def _run_chunk(
+    fn: Callable[..., R],
+    shards: List[S],
+    seeds: Optional[List[int]],
+) -> List[R]:
+    """Execute one contiguous chunk of shards inside a worker."""
+    if seeds is None:
+        return [fn(shard) for shard in shards]
+    return [fn(shard, seed) for shard, seed in zip(shards, seeds)]
+
+
+def pmap(
+    fn: Callable[..., R],
+    shards: Sequence[S],
+    workers: Optional[int] = None,
+    seed: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> List[R]:
+    """Map ``fn`` over ``shards`` across worker processes, in order.
+
+    Args:
+        fn: Module-level callable (or partial of one).  Called as
+            ``fn(shard)``, or ``fn(shard, shard_seed)`` when ``seed``
+            is given.
+        shards: The work items; materialized once up front.
+        workers: Worker processes; ``None`` defers to ``REPRO_WORKERS``
+            then 1, ``0`` means all cores, ``1`` runs serially inline.
+        seed: Optional base seed; derives a per-shard seed via
+            :func:`shard_seed` (pure function of the submission index).
+        chunk_size: Shards per pool task; defaults to splitting the
+            work into ~4 chunks per worker (amortizes pickling while
+            keeping the pool busy).
+
+    Returns:
+        ``[fn(shard, ...) for shard in shards]`` — always in input
+        order, byte-identical across any worker count.
+    """
+    shards = list(shards)
+    workers = resolve_workers(workers)
+    seeds = (
+        [shard_seed(seed, index) for index in range(len(shards))]
+        if seed is not None
+        else None
+    )
+    if workers == 1 or len(shards) <= 1:
+        return _run_chunk(fn, shards, seeds)
+
+    workers = min(workers, len(shards))
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(len(shards) / (workers * 4)))
+    elif chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    chunks = [
+        (
+            shards[start : start + chunk_size],
+            None if seeds is None else seeds[start : start + chunk_size],
+        )
+        for start in range(0, len(shards), chunk_size)
+    ]
+    results: List[R] = []
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_worker_init
+    ) as executor:
+        futures = [
+            executor.submit(_run_chunk, fn, chunk, chunk_seeds)
+            for chunk, chunk_seeds in chunks
+        ]
+        for future in futures:
+            results.extend(future.result())
+    return results

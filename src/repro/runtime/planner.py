@@ -18,7 +18,7 @@ id → bytes mapping injective, so both membership tests agree.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, FrozenSet, Iterator, List, Optional, Tuple
+from typing import Callable, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
@@ -130,16 +130,24 @@ def membership_mask(
     hashes: np.ndarray,
     announced: FrozenSet[bytes],
     digest_of: Callable[[int], bytes],
+    digest_many: Optional[Callable[[np.ndarray], List[bytes]]] = None,
 ) -> np.ndarray:
     """Which slots hold content the destination announced.
 
     Digests are computed once per *distinct* content id — hashing cost
     scales with unique contents, not slots, exactly like the prototype's
-    per-content checksum pass.
+    per-content checksum pass.  ``digest_many`` (when given) digests the
+    whole distinct-id batch in one call — e.g.
+    :meth:`~repro.mem.pagestore.PageStore.digests_for` — instead of one
+    ``digest_of`` call per id.
     """
     unique_ids, inverse = np.unique(hashes, return_inverse=True)
+    if digest_many is not None:
+        digests = digest_many(unique_ids)
+    else:
+        digests = [digest_of(int(cid)) for cid in unique_ids]
     unique_member = np.fromiter(
-        (digest_of(int(cid)) in announced for cid in unique_ids),
+        (digest in announced for digest in digests),
         dtype=bool,
         count=unique_ids.shape[0],
     )
@@ -152,6 +160,7 @@ def plan_first_round(
     announced: Optional[FrozenSet[bytes]] = None,
     digest_of: Optional[Callable[[int], bytes]] = None,
     dirty_slots: Optional[np.ndarray] = None,
+    digest_many: Optional[Callable[[np.ndarray], List[bytes]]] = None,
 ) -> FirstRoundPlan:
     """Plan the first copy round of a live migration.
 
@@ -166,6 +175,8 @@ def plan_first_round(
             ``announced``.
         dirty_slots: Slots written since the destination's checkpoint;
             required for dirty-tracking methods.
+        digest_many: Optional batched variant of ``digest_of`` taking an
+            array of distinct content ids.
     """
     hashes = np.asarray(hashes, dtype=np.uint64)
     n = int(hashes.shape[0])
@@ -204,7 +215,7 @@ def plan_first_round(
     else:
         # Content-based redundancy elimination, optionally pre-filtered
         # by dirty tracking and post-filtered by dedup.
-        member = membership_mask(hashes, announced, digest_of)
+        member = membership_mask(hashes, announced, digest_of, digest_many)
         reuse_mask = dirty_mask & member
         send_mask = dirty_mask & ~member
         kinds[reuse_mask] = KIND_CHECKSUM

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -286,13 +286,15 @@ class MachineWorkload:
                 self.image.write_fresh(fresh_slots)
             if len(recall_slots):
                 contents = self._draw_recalls(len(recall_slots))
-                for slot, content in zip(recall_slots, contents):
-                    self.image.write_content(np.asarray([slot]), content)
+                self.image.write_contents(recall_slots[: len(contents)], contents)
                 if len(contents) < len(recall_slots):
                     self.image.write_fresh(recall_slots[len(contents) :])
-            for slot in dup_slots:
-                source = int(self.rng.choice(self._shared_sources))
-                self.image.write_duplicate_of(np.asarray([slot]), source)
+            if len(dup_slots):
+                # One batched draw consumes the identical RNG stream as
+                # the former one-draw-per-slot loop, so traces stay
+                # bit-for-bit reproducible.
+                sources = self.rng.choice(self._shared_sources, size=len(dup_slots))
+                self.image.write_duplicates_from(dup_slots, sources)
             # Keep the zero-page population near its target by zeroing a
             # few of the written pages.
             zero_count = int(round(len(slots) * params.zero_fraction))

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import bisect
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, List, Optional, Tuple
 
@@ -34,6 +34,8 @@ from repro.core.checksum import PAGE_SIZE, ChecksumAlgorithm, MD5
 from repro.vmm.guest import GuestRAM
 
 _HEADER_BYTES = 9  # page number + message-type tag, as in the simulator.
+
+_LOAD_CHUNK_PAGES = 256  # 1 MiB reads for the sequential checkpoint scan.
 
 
 def write_checkpoint(ram: GuestRAM, path: Path | str) -> int:
@@ -123,11 +125,24 @@ class MigrationDestination:
                 f"checkpoint {path} is {size} bytes, expected {expected}"
             )
         entries: List[Tuple[bytes, int]] = []
+        digest = self.algorithm.digest
         with open(path, "rb") as checkpoint:
-            for page_number in range(self.ram.num_pages):
-                block = checkpoint.read(PAGE_SIZE)
-                self.ram.write_page(page_number, block)
-                entries.append((self.algorithm.digest(block), page_number * PAGE_SIZE))
+            page_number = 0
+            while page_number < self.ram.num_pages:
+                # Chunked sequential reads: one syscall and one RAM
+                # slice-store per megabyte, then per-page digests off a
+                # zero-copy view of the chunk.
+                chunk = checkpoint.read(_LOAD_CHUNK_PAGES * PAGE_SIZE)
+                self.ram.write_span(page_number, chunk)
+                view = memoryview(chunk)
+                for start in range(0, len(chunk), PAGE_SIZE):
+                    # bytes() defends against algorithms whose digest is
+                    # a slice of the input (it would alias the view).
+                    entries.append(
+                        (bytes(digest(view[start : start + PAGE_SIZE])),
+                         page_number * PAGE_SIZE)
+                    )
+                    page_number += 1
         entries.sort(key=lambda entry: entry[0])
         # First offset per distinct checksum is enough: any copy of the
         # content reconstructs the page.
@@ -207,14 +222,22 @@ class MigrationSource:
         self.stats = SendStats()
 
     def messages(self) -> Iterator[PageMessage]:
-        """Generate the first-round message stream (§3.2)."""
-        for page_number, page in self.ram.pages():
-            checksum = self.algorithm.digest(page)
+        """Generate the first-round message stream (§3.2).
+
+        Pages are digested straight off a zero-copy view of guest RAM —
+        the only per-page copy is for pages that actually ship in full.
+        """
+        view = self.ram.view()
+        page_size = self.ram.page_size
+        digest = self.algorithm.digest
+        for page_number in range(self.ram.num_pages):
+            page = view[page_number * page_size : (page_number + 1) * page_size]
+            checksum = bytes(digest(page))
             if checksum in self.remote_checksums:
                 message = PageMessage(page_number, checksum)
                 self.stats.pages_checksum_only += 1
             else:
-                message = PageMessage(page_number, checksum, payload=page)
+                message = PageMessage(page_number, checksum, payload=bytes(page))
                 self.stats.pages_full += 1
             self.stats.tx_bytes += message.wire_bytes
             yield message

@@ -1,0 +1,92 @@
+"""Cross-validation of the vectorized kernels against their references.
+
+The perf work in PR 3 replaced per-pair ``intersect1d`` with a
+searchsorted membership count and ``np.unique`` with a sort-and-mask
+pass.  These tests pin the optimized kernels to the straightforward
+implementations on randomized inputs.
+"""
+
+import numpy as np
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.similarity import (
+    pair_similarities,
+    pair_similarities_reference,
+)
+from repro.core.fingerprint import Fingerprint, sorted_unique
+
+
+class TestSortedUnique:
+    @given(
+        arrays(
+            dtype=np.uint64,
+            shape=st.integers(min_value=0, max_value=200),
+            elements=st.integers(min_value=0, max_value=50),
+        )
+    )
+    def test_matches_np_unique(self, values):
+        assert np.array_equal(sorted_unique(values), np.unique(values))
+
+    def test_empty(self):
+        empty = np.asarray([], dtype=np.uint64)
+        assert sorted_unique(empty).size == 0
+
+    def test_does_not_mutate_input(self):
+        values = np.asarray([3, 1, 2, 1], dtype=np.uint64)
+        kept = values.copy()
+        sorted_unique(values)
+        assert np.array_equal(values, kept)
+
+    def test_extreme_uint64_values(self):
+        values = np.asarray(
+            [2**64 - 1, 0, 2**63, 2**64 - 1, 1], dtype=np.uint64
+        )
+        assert np.array_equal(sorted_unique(values), np.unique(values))
+
+
+class TestPairSimilarityKernels:
+    def _random_uniques(self, rng, count=12, universe=300, max_size=120):
+        uniques = []
+        for _ in range(count):
+            size = int(rng.integers(0, max_size))
+            values = rng.choice(universe, size=size, replace=False).astype(np.uint64)
+            uniques.append(np.sort(values))
+        return uniques
+
+    def test_matches_reference_on_random_pairs(self):
+        rng = np.random.default_rng(42)
+        uniques = self._random_uniques(rng)
+        n = len(uniques)
+        earlier = rng.integers(0, n, size=80)
+        later = rng.integers(0, n, size=80)
+        fast = pair_similarities(uniques, earlier, later)
+        reference = pair_similarities_reference(uniques, earlier, later)
+        assert np.array_equal(fast, reference)
+
+    def test_matches_fingerprint_similarity_to(self):
+        rng = np.random.default_rng(7)
+        a = Fingerprint(hashes=rng.integers(0, 40, size=64).astype(np.uint64))
+        b = Fingerprint(hashes=rng.integers(0, 40, size=64).astype(np.uint64))
+        uniques = [a.unique_hashes(), b.unique_hashes()]
+        result = pair_similarities(
+            uniques, np.asarray([1]), np.asarray([0])
+        )
+        # later=a, earlier=b → |Ua ∩ Ub| / |Ua| = a.similarity_to(b)
+        assert result[0] == a.similarity_to(b)
+
+    def test_empty_pair_list(self):
+        uniques = [np.asarray([1, 2], dtype=np.uint64)]
+        empty = np.asarray([], dtype=np.int64)
+        assert pair_similarities(uniques, empty, empty).size == 0
+
+    def test_empty_later_fingerprint_is_zero(self):
+        uniques = [
+            np.asarray([], dtype=np.uint64),
+            np.asarray([1, 2], dtype=np.uint64),
+        ]
+        fast = pair_similarities(uniques, np.asarray([1]), np.asarray([0]))
+        reference = pair_similarities_reference(
+            uniques, np.asarray([1]), np.asarray([0])
+        )
+        assert fast[0] == reference[0] == 0.0

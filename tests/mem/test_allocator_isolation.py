@@ -1,0 +1,91 @@
+"""Regression tests for the content-id allocator's fork-aliasing guard.
+
+The hazard (documented in :mod:`repro.mem.image`): a forked worker
+inherits the parent's process-global allocator position, so two sibling
+workers hand out the SAME ids for DIFFERENT content — merging their
+fingerprints then manufactures phantom content matches.  The guard is
+:func:`repro.mem.image.isolate_worker_allocator`, which
+``repro.parallel``'s pool initializer calls with the worker pid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mem.image import (
+    _GLOBAL_NEXT_ID,
+    MemoryImage,
+    isolate_worker_allocator,
+)
+
+
+@pytest.fixture()
+def restore_global_allocator():
+    saved = _GLOBAL_NEXT_ID[0]
+    yield
+    _GLOBAL_NEXT_ID[0] = saved
+
+
+def _simulate_forked_worker(inherited_position, worker_key, isolate):
+    """Replay what a forked child does: inherit, (maybe) isolate, allocate."""
+    _GLOBAL_NEXT_ID[0] = inherited_position
+    if isolate:
+        isolate_worker_allocator(worker_key)
+    image = MemoryImage(8)
+    image.write_fresh(np.arange(8))
+    return set(image.slots.tolist())
+
+
+class TestForkAliasing:
+    def test_unguarded_fork_aliases_ids(self, restore_global_allocator):
+        # Demonstrate the hazard itself: two "children" starting from the
+        # same inherited counter hand out identical ids for different
+        # content.  This is the failure mode the guard exists for.
+        inherited = _GLOBAL_NEXT_ID[0]
+        a = _simulate_forked_worker(inherited, worker_key=101, isolate=False)
+        b = _simulate_forked_worker(inherited, worker_key=202, isolate=False)
+        assert a == b  # phantom matches: same ids, different content
+
+    def test_isolated_workers_allocate_disjoint_ids(self, restore_global_allocator):
+        inherited = _GLOBAL_NEXT_ID[0]
+        a = _simulate_forked_worker(inherited, worker_key=101, isolate=True)
+        b = _simulate_forked_worker(inherited, worker_key=202, isolate=True)
+        assert not (a & b)
+
+    def test_isolated_range_disjoint_from_parent(self, restore_global_allocator):
+        parent = MemoryImage(8)
+        parent.write_fresh(np.arange(8))
+        parent_ids = set(parent.slots.tolist())
+        child_ids = _simulate_forked_worker(
+            _GLOBAL_NEXT_ID[0], worker_key=77, isolate=True
+        )
+        assert not (parent_ids & child_ids)
+
+    def test_isolated_range_disjoint_from_namespaces(self, restore_global_allocator):
+        isolate_worker_allocator(worker_key=12345)
+        worker = MemoryImage(8)
+        worker.write_fresh(np.arange(8))
+        namespaced = MemoryImage(8, namespace=12345)
+        namespaced.write_fresh(np.arange(8))
+        assert not (set(worker.slots.tolist()) & set(namespaced.slots.tolist()))
+
+    def test_isolation_sets_high_bit(self, restore_global_allocator):
+        isolate_worker_allocator(worker_key=1)
+        image = MemoryImage(1)
+        image.write_fresh(np.asarray([0]))
+        assert int(image.slots[0]) >> 63 == 1
+
+
+class TestNamespacedImages:
+    def test_same_namespace_same_writes_identical(self):
+        a = MemoryImage(16, namespace=9)
+        b = MemoryImage(16, namespace=9)
+        a.write_fresh(np.arange(16))
+        b.write_fresh(np.arange(16))
+        assert (a.slots == b.slots).all()
+
+    def test_different_namespaces_disjoint(self):
+        a = MemoryImage(16, namespace=9)
+        b = MemoryImage(16, namespace=10)
+        a.write_fresh(np.arange(16))
+        b.write_fresh(np.arange(16))
+        assert not (set(a.slots.tolist()) & set(b.slots.tolist()))

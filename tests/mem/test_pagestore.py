@@ -3,8 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core.checksum import PAGE_SIZE
+from repro.core.checksum import MD5, PAGE_SIZE
 from repro.mem.pagestore import PageStore
+from repro.obs.metrics import get_registry
 
 
 class TestPageBytes:
@@ -51,3 +52,66 @@ class TestMaterialize:
         assert blob[:64] == store.page_bytes(1)
         assert blob[64:128] == bytes(64)
         assert blob[128:] == store.page_bytes(2)
+
+
+class TestLruEviction:
+    def test_evicts_one_at_a_time(self):
+        store = PageStore(cache_limit=4)
+        for content_id in range(1, 5):
+            store.page_bytes(content_id)
+        store.page_bytes(5)
+        # Exactly the oldest entry left, not a wholesale flush.
+        assert len(store._cache) == 4
+        assert 1 not in store._cache
+        assert {2, 3, 4, 5} <= set(store._cache)
+
+    def test_recently_used_survives(self):
+        store = PageStore(cache_limit=4)
+        for content_id in range(1, 5):
+            store.page_bytes(content_id)
+        store.page_bytes(1)  # refresh 1 → 2 becomes the LRU victim
+        store.page_bytes(5)
+        assert 1 in store._cache
+        assert 2 not in store._cache
+
+    def test_page_eviction_counter_increments(self):
+        registry = get_registry()
+        counter = registry.counter("pagestore.page_evictions")
+        before = counter.value
+        store = PageStore(cache_limit=2)
+        for content_id in range(1, 6):
+            store.page_bytes(content_id)
+        assert counter.value == before + 3
+
+    def test_digest_cache_bounded_with_counter(self):
+        registry = get_registry()
+        counter = registry.counter("pagestore.digest_evictions")
+        before = counter.value
+        store = PageStore(cache_limit=4)
+        store._digest_limit = 3  # shrink for the test; default is 64Ki
+        for content_id in range(1, 8):
+            store.digest_for(content_id)
+        assert len(store._digest_cache) <= 3
+        assert counter.value > before
+
+
+class TestDigests:
+    def test_digest_matches_direct_hash(self):
+        store = PageStore()
+        assert store.digest_for(7) == MD5.digest(store.page_bytes(7))
+
+    def test_digests_for_matches_per_id(self):
+        store = PageStore()
+        ids = np.asarray([3, 1, 3, 2, 1, 0], dtype=np.uint64)
+        batched = store.digests_for(ids)
+        assert batched == [store.digest_for(int(cid)) for cid in ids]
+
+    def test_digests_for_computes_each_distinct_once(self):
+        store = PageStore(cache_limit=16)
+        ids = np.asarray([5, 5, 5, 6, 6], dtype=np.uint64)
+        store.digests_for(ids)
+        # Only the distinct ids were materialized.
+        assert set(store._cache) == {5, 6}
+
+    def test_digests_for_empty(self):
+        assert PageStore().digests_for(np.asarray([], dtype=np.uint64)) == []

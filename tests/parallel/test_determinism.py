@@ -1,0 +1,92 @@
+"""Byte-identity of parallel sweeps: workers must never change results.
+
+The determinism contract of ``repro.parallel`` (ISSUE PR 3): every
+figure pipeline produces byte-identical output at any worker count, and
+repeated runs with the same seed are byte-identical too.  These tests
+run the Figure 1 and Figure 8 pipelines at reduced scale across
+``workers ∈ {1, 2, 4}`` and compare digests of every output array.
+"""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig1_similarity, fig8_vdi
+from repro.traces.presets import SERVER_A
+
+FIG1_EPOCHS = 40
+FIG8_EPOCHS = 160
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _fig1_digest(results) -> str:
+    h = hashlib.sha256()
+    for name in sorted(results):
+        decay = results[name]
+        for arr in (
+            decay.bin_hours,
+            decay.minimum,
+            decay.average,
+            decay.maximum,
+            decay.counts,
+        ):
+            h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+def _fig8_digest(result) -> str:
+    payload = [
+        (
+            rec.index,
+            rec.fingerprint_hours,
+            sorted((m.value, f) for m, f in rec.fractions.items()),
+        )
+        for rec in result.records
+    ]
+    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def fig1_by_workers():
+    return {
+        workers: fig1_similarity.run(
+            machines=(SERVER_A,), num_epochs=FIG1_EPOCHS, workers=workers
+        )
+        for workers in WORKER_COUNTS
+    }
+
+
+@pytest.fixture(scope="module")
+def fig8_by_workers():
+    return {
+        workers: fig8_vdi.run(num_epochs=FIG8_EPOCHS, workers=workers)
+        for workers in WORKER_COUNTS
+    }
+
+
+class TestFig1Determinism:
+    def test_identical_across_worker_counts(self, fig1_by_workers):
+        digests = {w: _fig1_digest(r) for w, r in fig1_by_workers.items()}
+        assert len(set(digests.values())) == 1, digests
+
+    def test_repeated_run_is_identical(self, fig1_by_workers):
+        again = fig1_similarity.run(
+            machines=(SERVER_A,), num_epochs=FIG1_EPOCHS, workers=2
+        )
+        assert _fig1_digest(again) == _fig1_digest(fig1_by_workers[1])
+
+
+class TestFig8Determinism:
+    def test_identical_across_worker_counts(self, fig8_by_workers):
+        digests = {w: _fig8_digest(r) for w, r in fig8_by_workers.items()}
+        assert len(set(digests.values())) == 1, digests
+
+    def test_migration_count_stable(self, fig8_by_workers):
+        counts = {r.num_migrations for r in fig8_by_workers.values()}
+        assert len(counts) == 1
+
+    def test_repeated_run_is_identical(self, fig8_by_workers):
+        again = fig8_vdi.run(num_epochs=FIG8_EPOCHS, workers=4)
+        assert _fig8_digest(again) == _fig8_digest(fig8_by_workers[1])

@@ -1,0 +1,106 @@
+"""Unit tests for repro.parallel.pool."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import ENV_WORKERS, pmap, resolve_workers, shard_seed
+
+
+def _square(x):
+    return x * x
+
+
+def _seeded(x, seed):
+    return (x, seed)
+
+
+def _first_draw(x, seed):
+    return int(np.random.default_rng(seed).integers(1 << 30))
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(ENV_WORKERS, raising=False)
+        assert resolve_workers() == 1
+
+    def test_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "5")
+        assert resolve_workers() == 5
+
+    def test_zero_means_all_cores(self):
+        assert resolve_workers(0) >= 1
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "lots")
+        with pytest.raises(ValueError):
+            resolve_workers()
+
+
+class TestShardSeed:
+    def test_pure_function_of_inputs(self):
+        assert shard_seed(7, 3) == shard_seed(7, 3)
+
+    def test_index_changes_seed(self):
+        seeds = {shard_seed(7, i) for i in range(100)}
+        assert len(seeds) == 100
+
+    def test_base_seed_changes_seed(self):
+        assert shard_seed(7, 0) != shard_seed(8, 0)
+
+    def test_fits_numpy_seed_range(self):
+        for i in range(50):
+            assert 0 <= shard_seed(123456789, i) < (1 << 31)
+
+
+class TestPmap:
+    def test_serial_matches_comprehension(self):
+        items = list(range(17))
+        assert pmap(_square, items, workers=1) == [x * x for x in items]
+
+    def test_parallel_preserves_order(self):
+        items = list(range(23))
+        assert pmap(_square, items, workers=3) == [x * x for x in items]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(11))
+        assert pmap(_square, items, workers=4) == pmap(_square, items, workers=1)
+
+    def test_empty_input(self):
+        assert pmap(_square, [], workers=4) == []
+
+    def test_single_shard_runs_inline(self):
+        assert pmap(_square, [6], workers=4) == [36]
+
+    def test_seed_derives_per_shard(self):
+        result = pmap(_seeded, [10, 20, 30], workers=1, seed=99)
+        assert result == [
+            (10, shard_seed(99, 0)),
+            (20, shard_seed(99, 1)),
+            (30, shard_seed(99, 2)),
+        ]
+
+    def test_seeded_parallel_matches_serial(self):
+        items = list(range(9))
+        serial = pmap(_first_draw, items, workers=1, seed=5)
+        parallel = pmap(_first_draw, items, workers=3, seed=5)
+        assert serial == parallel
+
+    def test_chunk_size_does_not_change_results(self):
+        items = list(range(13))
+        for chunk_size in (1, 2, 5, 13):
+            assert (
+                pmap(_square, items, workers=2, chunk_size=chunk_size)
+                == [x * x for x in items]
+            )
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            pmap(_square, [1, 2, 3], workers=2, chunk_size=0)

@@ -1,0 +1,85 @@
+"""Unit tests for the source-side write coalescing (_BatchWriter)."""
+
+import asyncio
+
+from repro.runtime.source import _BatchWriter
+
+
+class FakeStream:
+    def __init__(self):
+        self.sends = []
+
+    async def send(self, data: bytes) -> None:
+        self.sends.append(bytes(data))
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestBatchWriter:
+    def test_buffers_below_limit(self):
+        stream = FakeStream()
+        writer = _BatchWriter(stream, limit=100)
+
+        async def scenario():
+            await writer.add(b"a" * 30)
+            await writer.add(b"b" * 30)
+
+        run(scenario())
+        assert stream.sends == []
+        assert writer.pending_bytes == 60
+
+    def test_flushes_at_limit(self):
+        stream = FakeStream()
+        writer = _BatchWriter(stream, limit=50)
+
+        async def scenario():
+            await writer.add(b"a" * 30)
+            await writer.add(b"b" * 30)  # 60 >= 50 → flush
+
+        run(scenario())
+        assert stream.sends == [b"a" * 30 + b"b" * 30]
+        assert writer.pending_bytes == 0
+        assert writer.flushes == 1
+
+    def test_explicit_flush_drains(self):
+        stream = FakeStream()
+        writer = _BatchWriter(stream, limit=1000)
+
+        async def scenario():
+            await writer.add(b"abc")
+            await writer.flush()
+
+        run(scenario())
+        assert stream.sends == [b"abc"]
+
+    def test_flush_when_empty_is_noop(self):
+        stream = FakeStream()
+        writer = _BatchWriter(stream, limit=10)
+        run(writer.flush())
+        assert stream.sends == []
+        assert writer.flushes == 0
+
+    def test_concatenation_preserves_frame_order(self):
+        stream = FakeStream()
+        writer = _BatchWriter(stream, limit=8)
+
+        async def scenario():
+            for frame in (b"11", b"22", b"33", b"44", b"55"):
+                await writer.add(frame)
+            await writer.flush()
+
+        run(scenario())
+        assert b"".join(stream.sends) == b"1122334455"
+
+    def test_limit_floor_is_one(self):
+        stream = FakeStream()
+        writer = _BatchWriter(stream, limit=0)
+
+        async def scenario():
+            await writer.add(b"x")
+
+        run(scenario())
+        # Degenerate limit still sends every frame rather than dividing by zero.
+        assert stream.sends == [b"x"]

@@ -1,0 +1,68 @@
+"""Tests for GuestRAM's bulk span writes and zero-copy views."""
+
+import numpy as np
+import pytest
+
+from repro.core.checksum import PAGE_SIZE
+from repro.vmm.guest import GuestRAM
+
+
+class TestWriteSpan:
+    def test_matches_per_page_writes(self):
+        bulk = GuestRAM(8)
+        loop = GuestRAM(8)
+        rng = np.random.default_rng(0)
+        pages = [rng.integers(0, 256, size=PAGE_SIZE, dtype=np.uint8).tobytes()
+                 for _ in range(4)]
+        bulk.write_span(2, b"".join(pages))
+        for offset, page in enumerate(pages):
+            loop.write_page(2 + offset, page)
+        assert bulk == loop
+
+    def test_rejects_partial_page(self):
+        ram = GuestRAM(4)
+        with pytest.raises(ValueError):
+            ram.write_span(0, b"x" * (PAGE_SIZE + 1))
+
+    def test_rejects_empty(self):
+        ram = GuestRAM(4)
+        with pytest.raises(ValueError):
+            ram.write_span(0, b"")
+
+    def test_rejects_overflow(self):
+        ram = GuestRAM(4)
+        with pytest.raises(IndexError):
+            ram.write_span(3, bytes(2 * PAGE_SIZE))
+
+    def test_rejects_negative_page(self):
+        ram = GuestRAM(4)
+        with pytest.raises(IndexError):
+            ram.write_span(-1, bytes(PAGE_SIZE))
+
+
+class TestView:
+    def test_view_matches_snapshot(self):
+        ram = GuestRAM(4)
+        ram.write_pattern(1, seed=9)
+        assert bytes(ram.view()) == ram.snapshot()
+
+    def test_view_is_readonly(self):
+        ram = GuestRAM(2)
+        view = ram.view()
+        with pytest.raises(TypeError):
+            view[0] = 1
+
+    def test_view_is_zero_copy_of_live_buffer(self):
+        ram = GuestRAM(2)
+        view = ram.view()
+        ram.write_pattern(0, seed=3)
+        assert bytes(view[:PAGE_SIZE]) == ram.read_page(0)
+
+    def test_per_page_slices_match_read_page(self):
+        ram = GuestRAM(3)
+        for page in range(3):
+            ram.write_pattern(page, seed=page + 1)
+        view = ram.view()
+        for page in range(3):
+            slice_ = view[page * PAGE_SIZE : (page + 1) * PAGE_SIZE]
+            assert bytes(slice_) == ram.read_page(page)
