@@ -18,6 +18,7 @@ Usage::
     vecycle consolidate [--vms 8] [--days 3]
     vecycle gang [--vms 8] [--shared 0.5]
     vecycle obs [--summary] [--from trace.jsonl]
+    vecycle repo {ls,verify,gc} --state-dir DIR
 
 Every subcommand also accepts the shared observability flags:
 ``--trace-out PATH`` (write a trace of the run), ``--format
@@ -328,7 +329,9 @@ def _cmd_runtime(args: argparse.Namespace) -> str:
                 link=link,
                 seed=args.seed,
             )
-            result = await cross_validate(scenario, config=config)
+            result = await cross_validate(
+                scenario, config=config, state_dir=args.state_dir
+            )
             if args.inject_disconnect:
                 # Re-run with a mid-transfer disconnect so the retry path
                 # shows up in the metrics (daemon aborts, source resumes).
@@ -336,7 +339,9 @@ def _cmd_runtime(args: argparse.Namespace) -> str:
                 from repro.mem.pagestore import PageStore
 
                 pagestore = PageStore()
-                async with CheckpointDaemon(pagestore=pagestore) as daemon:
+                async with CheckpointDaemon(
+                    pagestore=pagestore, state_dir=args.state_dir
+                ) as daemon:
                     if scenario.checkpoint is not None:
                         daemon.install_checkpoint(
                             scenario.vm_id, scenario.checkpoint,
@@ -360,6 +365,51 @@ def _cmd_runtime(args: argparse.Namespace) -> str:
         return "\n\n".join(sections)
 
     return asyncio.run(run_all())
+
+
+def _cmd_repo(args: argparse.Namespace) -> str:
+    """Inspect, scrub, or garbage-collect a durable checkpoint repository."""
+    from repro.storage.repository import CheckpointRepository
+
+    repo = CheckpointRepository(args.state_dir)
+    if args.action == "ls":
+        report = repo.recover(verify_digests=False)
+        lines = [
+            f"{len(report.checkpoints)} checkpoint(s) in {args.state_dir}"
+        ]
+        for manifest in report.checkpoints:
+            lines.append(
+                f"  {manifest.vm_id:<24s} pages={manifest.num_pages:>8d} "
+                f"unique={len(manifest.unique_digests):>8d} "
+                f"algo={manifest.algorithm} ts={manifest.timestamp:.0f}"
+            )
+        if report.sessions:
+            lines.append(f"{len(report.sessions)} persisted session result(s)")
+        if report.quarantined:
+            lines.append(f"{len(report.quarantined)} entr(ies) quarantined")
+        if report.orphan_segments:
+            lines.append(
+                f"{report.orphan_segments} orphan segment(s) — run "
+                "'vecycle repo gc' to reclaim them"
+            )
+        return "\n".join(lines)
+    if args.action == "verify":
+        repo.recover(verify_digests=False)
+        report = repo.verify()
+        lines = [f"checked {report.segments_checked} segment(s)"]
+        if report.ok:
+            lines.append("all segment digests verify: repository is clean")
+        else:
+            lines.append(
+                f"quarantined {len(report.corrupt_segments)} corrupt "
+                f"segment(s) and {len(report.quarantined_manifests)} "
+                "manifest(s) referencing them"
+            )
+        return "\n".join(lines)
+    # args.action == "gc"
+    repo.recover(verify_digests=False)
+    freed = repo.gc()
+    return f"reclaimed {freed} bytes of unreferenced segments"
 
 
 def _cmd_obs(args: argparse.Namespace) -> str:
@@ -522,6 +572,10 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--inject-disconnect", type=int, default=0, metavar="N",
                     help="also run a migration that loses the connection "
                     "after N applied messages (exercises retry/resume)")
+    pr.add_argument("--state-dir", default=None, metavar="DIR",
+                    help="durable state directory for the destination "
+                    "daemon; checkpoints committed there survive restarts "
+                    "(inspect with 'vecycle repo ls')")
     pr.add_argument("--seed", type=int, default=7)
     pr.set_defaults(func=_cmd_runtime)
 
@@ -570,6 +624,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="memory updated since the destination's checkpoint")
     po.add_argument("--seed", type=int, default=7)
     po.set_defaults(func=_cmd_obs)
+
+    prepo = add_parser(
+        "repo",
+        help="inspect, scrub, or gc a durable checkpoint repository",
+    )
+    prepo.add_argument(
+        "action", choices=("ls", "verify", "gc"),
+        help="ls: list committed checkpoints; verify: re-hash every "
+        "segment and quarantine corruption; gc: delete unreferenced "
+        "segments left by crashed commits",
+    )
+    prepo.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help="repository root (the daemon's --state-dir)",
+    )
+    prepo.set_defaults(func=_cmd_repo)
     return parser
 
 

@@ -12,6 +12,14 @@ still wants a retention policy.  Two are provided:
   a floor: a crawler's checkpoint is worthless after a few hours while
   a desktop's overnight checkpoint stays valuable for days, so the
   policy keeps what will actually be recycled.
+
+Dropping a checkpoint must also *reclaim* what it exclusively owned:
+:func:`reclaim_hosted` applies a policy to a live
+:class:`~repro.runtime.daemon.CheckpointDaemon` (or anything with its
+``checkpoints`` / ``drop_checkpoint`` shape) and routes every drop
+through the daemon's refcounted content store and durable repository,
+so the last checkpoint referencing a page actually frees its bytes —
+both the resident copy and the on-disk segment.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from typing import Dict, List, Protocol
 
 from repro.core.checkpoint import Checkpoint, CheckpointStore
 from repro.core.prediction import SimilarityPredictor
+from repro.obs.metrics import get_registry
 
 
 class RetentionPolicy(Protocol):
@@ -83,7 +92,12 @@ class ValueRetention:
 def collect_garbage(
     store: CheckpointStore, policy: RetentionPolicy, now_s: float
 ) -> List[str]:
-    """Evict every checkpoint the policy rejects; return evicted vm_ids."""
+    """Evict every checkpoint the policy rejects; return evicted vm_ids.
+
+    Eviction goes through :meth:`CheckpointStore.evict`, so a store
+    constructed with an ``on_evict`` callback releases whatever per-page
+    state it had pinned elsewhere.
+    """
     evicted: List[str] = []
     for vm_id in store.vm_ids():
         checkpoint = store.get(vm_id)
@@ -91,3 +105,53 @@ def collect_garbage(
             store.evict(vm_id)
             evicted.append(vm_id)
     return evicted
+
+
+class HostedCheckpointOwner(Protocol):
+    """What :func:`reclaim_hosted` needs from a checkpoint daemon."""
+
+    checkpoints: Dict[str, object]
+
+    def drop_checkpoint(self, vm_id: str) -> int:
+        """Drop a hosted checkpoint, returning bytes reclaimed."""
+        ...
+
+
+@dataclass(frozen=True)
+class ReclaimReport:
+    """Outcome of one :func:`reclaim_hosted` pass."""
+
+    evicted: List[str]
+    bytes_reclaimed: int
+
+    def __str__(self) -> str:
+        return (
+            f"reclaimed {self.bytes_reclaimed} bytes from "
+            f"{len(self.evicted)} checkpoint(s)"
+        )
+
+
+def reclaim_hosted(
+    owner: HostedCheckpointOwner, policy: RetentionPolicy, now_s: float
+) -> ReclaimReport:
+    """Apply ``policy`` to a daemon's hosted checkpoints and free pages.
+
+    Where :func:`collect_garbage` only forgets metadata, this path
+    reclaims storage: each rejected checkpoint is dropped through
+    ``owner.drop_checkpoint``, which releases its per-slot content-store
+    references and deletes repository segments whose *last* referencing
+    checkpoint just went away.  The hosted checkpoints duck-type the
+    policy's ``Checkpoint`` (``vm_id`` + ``timestamp`` is all the
+    policies read).  Reclaimed bytes land on the ``repo.bytes_reclaimed``
+    metric (repository-backed owners count them there themselves).
+    """
+    evicted: List[str] = []
+    reclaimed = 0
+    for vm_id in sorted(owner.checkpoints):
+        hosted = owner.checkpoints[vm_id]
+        if not policy.keep(hosted, now_s):
+            reclaimed += owner.drop_checkpoint(vm_id)
+            evicted.append(vm_id)
+    if reclaimed and getattr(owner, "repository", None) is None:
+        get_registry().counter("repo.bytes_reclaimed").add(reclaimed)
+    return ReclaimReport(evicted=evicted, bytes_reclaimed=reclaimed)

@@ -18,12 +18,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
 from repro.core.checksum import PAGE_SIZE
 from repro.core.fingerprint import Fingerprint
+
+
+class CapacityError(ValueError):
+    """A checkpoint cannot fit the store's capacity bound.
+
+    Raised either when a single checkpoint exceeds the capacity
+    outright, or when making room would require evicting the incoming
+    VM's own checkpoint (the store never cannibalizes the checkpoint it
+    is being asked to keep).  Subclasses :class:`ValueError` so existing
+    callers that caught that keep working.
+    """
 
 
 class ChecksumIndex:
@@ -137,15 +148,27 @@ class CheckpointStore:
     default is unbounded; a ``capacity_bytes`` bound with LRU eviction is
     provided for the consolidation-server case where one host stores
     checkpoints for many desktops.
+
+    ``on_evict`` is called with every checkpoint the store drops —
+    capacity eviction, explicit :meth:`evict`, replacement by a newer
+    checkpoint of the same VM — so callers holding per-page state
+    elsewhere (a content-addressed store, a durable repository) can
+    release it instead of leaking.
     """
 
-    def __init__(self, capacity_bytes: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        capacity_bytes: Optional[int] = None,
+        on_evict: Optional[Callable[[Checkpoint], None]] = None,
+    ) -> None:
         if capacity_bytes is not None and capacity_bytes <= 0:
             raise ValueError(f"capacity_bytes must be > 0, got {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
+        self.on_evict = on_evict
         self._checkpoints: Dict[str, Checkpoint] = {}
         self._clock = 0
         self._last_used: Dict[str, int] = {}
+        self._used_bytes = 0
 
     def __len__(self) -> int:
         return len(self._checkpoints)
@@ -155,7 +178,12 @@ class CheckpointStore:
 
     @property
     def used_bytes(self) -> int:
-        return sum(cp.size_bytes for cp in self._checkpoints.values())
+        """Bytes currently stored — a maintained total, O(1) to read.
+
+        (Recomputing ``sum()`` here made capacity eviction O(n²): the
+        eviction loop calls this once per victim.)
+        """
+        return self._used_bytes
 
     def store(self, checkpoint: Checkpoint) -> None:
         """Store (or replace) the checkpoint for ``checkpoint.vm_id``.
@@ -163,24 +191,44 @@ class CheckpointStore:
         A newer checkpoint of the same VM replaces the old one — the
         paper keeps one checkpoint per (VM, host) pair.  If a capacity
         bound is set, least-recently-used checkpoints of *other* VMs are
-        evicted to make room.
+        evicted to make room: the incoming VM's own (replaced)
+        checkpoint is subtracted first and is never an eviction victim.
 
         Raises:
-            ValueError: if the checkpoint alone exceeds the capacity.
+            CapacityError: if the checkpoint alone exceeds the capacity,
+                or no amount of evicting *other* VMs can make room.
         """
         if self.capacity_bytes is not None:
             if checkpoint.size_bytes > self.capacity_bytes:
-                raise ValueError(
-                    f"checkpoint of {checkpoint.size_bytes} bytes exceeds "
-                    f"store capacity {self.capacity_bytes}"
+                raise CapacityError(
+                    f"checkpoint of {checkpoint.size_bytes} bytes for VM "
+                    f"{checkpoint.vm_id!r} exceeds store capacity "
+                    f"{self.capacity_bytes} on its own"
                 )
-            self._checkpoints.pop(checkpoint.vm_id, None)
-            while self.used_bytes + checkpoint.size_bytes > self.capacity_bytes:
-                victim = min(self._last_used, key=self._last_used.get)
-                self.evict(victim)
+            # The same VM's old checkpoint is being replaced: drop it
+            # before sizing the shortfall, so its bytes are not
+            # double-counted against innocent victims.
+            self._drop(checkpoint.vm_id)
+            while self._used_bytes + checkpoint.size_bytes > self.capacity_bytes:
+                victims = {
+                    vm_id: used
+                    for vm_id, used in self._last_used.items()
+                    if vm_id != checkpoint.vm_id
+                }
+                if not victims:
+                    raise CapacityError(
+                        f"checkpoint of {checkpoint.size_bytes} bytes for VM "
+                        f"{checkpoint.vm_id!r} does not fit: "
+                        f"{self._used_bytes} of {self.capacity_bytes} bytes "
+                        "used and no other VM's checkpoint left to evict"
+                    )
+                self.evict(min(victims, key=victims.get))
+        else:
+            self._drop(checkpoint.vm_id)
         self._clock += 1
         self._checkpoints[checkpoint.vm_id] = checkpoint
         self._last_used[checkpoint.vm_id] = self._clock
+        self._used_bytes += checkpoint.size_bytes
 
     def get(self, vm_id: str) -> Optional[Checkpoint]:
         """The stored checkpoint for ``vm_id``, or None; refreshes LRU."""
@@ -190,10 +238,19 @@ class CheckpointStore:
             self._last_used[vm_id] = self._clock
         return checkpoint
 
+    def _drop(self, vm_id: str) -> Optional[Checkpoint]:
+        """Remove ``vm_id`` with bookkeeping and the eviction callback."""
+        dropped = self._checkpoints.pop(vm_id, None)
+        self._last_used.pop(vm_id, None)
+        if dropped is not None:
+            self._used_bytes -= dropped.size_bytes
+            if self.on_evict is not None:
+                self.on_evict(dropped)
+        return dropped
+
     def evict(self, vm_id: str) -> None:
         """Drop the checkpoint for ``vm_id``; silently ignores unknown ids."""
-        self._checkpoints.pop(vm_id, None)
-        self._last_used.pop(vm_id, None)
+        self._drop(vm_id)
 
     def vm_ids(self) -> list[str]:
         """Sorted ids of all VMs with a stored checkpoint."""

@@ -162,6 +162,7 @@ async def cross_validate(
     scenario: Scenario,
     config: Optional[RuntimeConfig] = None,
     announce_known: bool = False,
+    state_dir: Optional[str] = None,
 ) -> CrossValidation:
     """Run ``scenario`` through the live runtime and the analytic model.
 
@@ -169,6 +170,8 @@ async def cross_validate(
         announce_known: Exercise the §3.3 ping-pong shortcut — the
             source is seeded with the destination checkpoint's checksums
             and both paths charge zero announce traffic.
+        state_dir: Durable state directory for the destination daemon;
+            the migrated checkpoint survives there past this run.
     """
     strategy = scenario.strategy
     method = strategy.method
@@ -189,7 +192,10 @@ async def cross_validate(
     )
 
     daemon = CheckpointDaemon(
-        name="crossval-dest", time_scale=config.time_scale, pagestore=pagestore
+        name="crossval-dest",
+        time_scale=config.time_scale,
+        pagestore=pagestore,
+        state_dir=state_dir,
     )
     async with daemon:
         known = None

@@ -19,13 +19,23 @@ with the same session token gets told exactly how far the previous
 attempt got (round number + messages applied) and resumes from there;
 a completed session replays its RESULT idempotently.  Test hooks can
 inject mid-transfer disconnects to exercise exactly that path.
+
+Durability: give the daemon a ``state_dir`` and every committed
+checkpoint (and completed session result) survives a daemon restart —
+``kill -9`` included.  Pages are written through to a
+:class:`~repro.storage.repository.CheckpointRepository` as they arrive,
+the per-checkpoint manifest commits atomically on RESULT, and startup
+recovery rebuilds the hosted checkpoints and checksum state from the
+manifests, quarantining (never crashing on) corrupt entries.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -36,8 +46,10 @@ from repro.core.protocol import WireFormat
 from repro.core.transfer import Method
 from repro.mem.pagestore import ContentAddressedStore, PageStore
 from repro.net.link import Link
+from repro.obs.log import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span as _span
+from repro.storage.repository import CheckpointManifest, CheckpointRepository
 from repro.runtime.frames import (
     Frame,
     FrameCodec,
@@ -52,7 +64,12 @@ from repro.runtime.frames import (
 )
 from repro.runtime.shaping import ShapedStream
 
+log = get_logger(__name__)
+
 _MAX_RETAINED_SESSIONS = 64
+"""Soft cap on retained sessions: completed ones are evicted oldest
+first; *live* sessions are never evicted (the reconnect/resume
+guarantee), so the dict may grow past this under extreme concurrency."""
 
 
 class SinkProtocolError(RuntimeError):
@@ -76,6 +93,7 @@ class HostedCheckpoint:
 
     vm_id: str
     slot_digests: List[bytes]
+    timestamp: float = field(default=0.0, compare=False)
 
     @property
     def num_pages(self) -> int:
@@ -108,6 +126,13 @@ class _SinkSession:
         self.slot_digests: List[Optional[bytes]] = (
             list(preload.slot_digests) if preload else [None] * num_pages
         )
+        # The session owns one content-store reference per filled slot,
+        # starting with the preloaded checkpoint copy; _set_slot keeps
+        # the invariant as frames overwrite slots, release_refs drops
+        # everything when the session is retired.
+        store.retain_many(self.slot_digests)
+        self._refs_released = False
+        self.page_size = 4096
         self.round_no = 1
         self.applied_in_round = 0
         self.total_applied = 0
@@ -129,13 +154,13 @@ class _SinkSession:
         if frame.type == TYPE_PAGE_PLAIN:
             digest = self.algorithm.digest(frame.payload)
             self.store.put(digest, frame.payload)
-            self.slot_digests[slot] = digest
+            self._set_slot(slot, digest)
         elif frame.type == TYPE_PAGE_FULL:
             # §3.2: the attached checksum saves the receiver from
             # re-hashing the page; the sender is trusted here exactly as
             # in the prototype.
             self.store.put(frame.digest, frame.payload)
-            self.slot_digests[slot] = frame.digest
+            self._set_slot(slot, frame.digest)
         elif frame.type == TYPE_PAGE_CHECKSUM:
             if self.slot_digests[slot] == frame.digest:
                 self.reused_in_place += 1
@@ -146,7 +171,7 @@ class _SinkSession:
                         f"page {slot}: checksum announced but absent from "
                         "the content store",
                     )
-                self.slot_digests[slot] = frame.digest
+                self._set_slot(slot, frame.digest)
                 self.reused_from_store += 1
         elif frame.type == TYPE_PAGE_REF:
             if not 0 <= frame.ref < self.num_pages:
@@ -160,13 +185,64 @@ class _SinkSession:
                     f"page {slot}: dedup reference to slot {frame.ref}, "
                     "which has not been received",
                 )
-            self.slot_digests[slot] = target
+            self._set_slot(slot, target)
         else:  # pragma: no cover - the connection loop filters types
             raise SinkProtocolError("bad-frame", f"unexpected frame {frame.name}")
         self.pages_received += 1
         self.rx_payload_bytes += frame.wire_bytes
         self.applied_in_round += 1
         self.total_applied += 1
+
+    def _set_slot(self, slot: int, digest: bytes) -> None:
+        """Assign ``digest`` to ``slot``, moving the store references."""
+        old = self.slot_digests[slot]
+        if old == digest:
+            return
+        self.store.retain(digest)
+        if old is not None:
+            self.store.release(old)
+        self.slot_digests[slot] = digest
+
+    def release_refs(self) -> int:
+        """Give up the session's per-slot references (idempotent).
+
+        Called when the session is retired from the retention map;
+        returns resident bytes freed from the content store.
+        """
+        if self._refs_released:
+            return 0
+        self._refs_released = True
+        freed = self.store.release_many(self.slot_digests)
+        self.slot_digests = []
+        return freed
+
+    @classmethod
+    def restore(
+        cls,
+        session_id: str,
+        store: ContentAddressedStore,
+        payload: dict,
+    ) -> "_SinkSession":
+        """Rebuild a *completed* session from its persisted RESULT.
+
+        Restored sessions exist only to replay their RESULT to a source
+        that reconnects after a daemon restart; they hold no slots and
+        no content references.
+        """
+        session = cls(
+            session_id=session_id,
+            vm_id=str(payload.get("vm_id", "")),
+            num_pages=0,
+            method=Method.FULL,
+            algorithm=MD5,
+            store=store,
+            preload=None,
+        )
+        session.completed = True
+        session.result = payload.get("result")
+        session.round_no = int(payload.get("rounds", 1))
+        session.applied_in_round = int(payload.get("applied_in_round", 0))
+        return session
 
     def verification_digest(self) -> bytes:
         """Digest over the per-slot digests — the end-to-end image check."""
@@ -216,6 +292,13 @@ class CheckpointDaemon:
             handler task forever.
         pagestore: Deterministic id → bytes expander used to preload
             checkpoints installed from fingerprints.
+        state_dir: Durable state directory.  When set, checkpoints and
+            completed session results are persisted through a
+            :class:`~repro.storage.repository.CheckpointRepository`
+            rooted there and recovered on construction — a daemon
+            restart keeps every committed checkpoint.
+        repository: Pre-built repository to use instead of
+            ``state_dir`` (tests share one across simulated restarts).
     """
 
     def __init__(
@@ -225,19 +308,55 @@ class CheckpointDaemon:
         time_scale: float = 1.0,
         io_timeout_s: float = 30.0,
         pagestore: Optional[PageStore] = None,
+        state_dir: Optional[Path | str] = None,
+        repository: Optional[CheckpointRepository] = None,
     ) -> None:
         self.name = name
         self.link = link
         self.time_scale = time_scale
         self.io_timeout_s = io_timeout_s
         self.pagestore = pagestore or PageStore()
-        self.store = ContentAddressedStore()
+        if repository is None and state_dir is not None:
+            repository = CheckpointRepository(state_dir)
+        self.repository = repository
+        self.store = ContentAddressedStore(repository=repository)
         self.checkpoints: Dict[str, HostedCheckpoint] = {}
         self._sessions: "OrderedDict[str, _SinkSession]" = OrderedDict()
         self._server: Optional[asyncio.AbstractServer] = None
         self._fault: Optional[_FaultPlan] = None
         self.host: Optional[str] = None
         self.port: Optional[int] = None
+        if self.repository is not None:
+            self._recover()
+
+    def _recover(self) -> None:
+        """Rebuild hosted checkpoints and sessions from the repository.
+
+        Segment digests are verified during recovery; corrupt entries
+        are quarantined by the repository, so a damaged checkpoint costs
+        that checkpoint only and the daemon still starts.
+        """
+        report = self.repository.recover()
+        for manifest in report.checkpoints:
+            digests = list(manifest.slot_digests)
+            self.store.retain_many(digests)
+            self.checkpoints[manifest.vm_id] = HostedCheckpoint(
+                vm_id=manifest.vm_id,
+                slot_digests=digests,
+                timestamp=manifest.timestamp,
+            )
+        for session_id, payload in report.sessions.items():
+            self._sessions[session_id] = _SinkSession.restore(
+                session_id, self.store, payload
+            )
+        if report.recovered or report.sessions:
+            log.info(
+                "recovered durable state",
+                host=self.name,
+                checkpoints=report.recovered,
+                sessions=len(report.sessions),
+                quarantined=len(report.quarantined),
+            )
 
     # --- lifecycle ------------------------------------------------------
 
@@ -284,9 +403,66 @@ class CheckpointDaemon:
             if digest not in self.store:
                 self.store.put(digest, self.pagestore.page_bytes(int(content_id)))
             slot_digests.append(digest)
-        hosted = HostedCheckpoint(vm_id=vm_id, slot_digests=slot_digests)
+        return self._adopt_checkpoint(
+            vm_id,
+            slot_digests,
+            algorithm=algorithm,
+            timestamp=fingerprint.timestamp,
+            page_size=self.pagestore.page_size,
+        )
+
+    def _adopt_checkpoint(
+        self,
+        vm_id: str,
+        slot_digests: List[bytes],
+        algorithm: ChecksumAlgorithm,
+        timestamp: Optional[float] = None,
+        page_size: int = 4096,
+    ) -> HostedCheckpoint:
+        """Install ``slot_digests`` as the VM's hosted checkpoint.
+
+        Takes content-store references for the new checkpoint, releases
+        the replaced one's, and — with a repository — commits the
+        manifest durably (pages were written through as they arrived,
+        so the manifest rename is the single commit point).
+        """
+        if timestamp is None:
+            timestamp = time.time()
+        self.store.retain_many(slot_digests)
+        previous = self.checkpoints.get(vm_id)
+        hosted = HostedCheckpoint(
+            vm_id=vm_id, slot_digests=list(slot_digests), timestamp=timestamp
+        )
         self.checkpoints[vm_id] = hosted
+        if self.repository is not None:
+            self.repository.commit_checkpoint(
+                CheckpointManifest(
+                    vm_id=vm_id,
+                    slot_digests=list(slot_digests),
+                    algorithm=algorithm.name,
+                    page_size=page_size,
+                    timestamp=timestamp,
+                )
+            )
+        if previous is not None:
+            self.store.release_many(previous.slot_digests)
         return hosted
+
+    def drop_checkpoint(self, vm_id: str) -> int:
+        """Stop hosting ``vm_id``'s checkpoint; free its last-owner pages.
+
+        Returns the number of bytes actually reclaimed (durable segment
+        bytes when a repository is attached, resident bytes otherwise).
+        The retention policies in :mod:`repro.cluster.gc` call this so
+        dropped checkpoints stop leaking content-store entries.
+        """
+        hosted = self.checkpoints.pop(vm_id, None)
+        if hosted is None:
+            return 0
+        freed = self.store.release_many(hosted.slot_digests)
+        if self.repository is not None:
+            freed = self.repository.delete_checkpoint(vm_id)
+        return freed
 
     def checkpoint_digests(self, vm_id: str) -> Optional[frozenset]:
         """Distinct checksums of the hosted checkpoint (ping-pong state)."""
@@ -390,10 +566,39 @@ class CheckpointDaemon:
                 store=self.store,
                 preload=preload,
             )
+            session.page_size = int(hello["page_size"])
             self._sessions[hello["session"]] = session
-            while len(self._sessions) > _MAX_RETAINED_SESSIONS:
-                self._sessions.popitem(last=False)
+            self._prune_sessions()
         return session, codec
+
+    def _prune_sessions(self) -> None:
+        """Retire the oldest *completed* sessions past the soft cap.
+
+        A live (in-progress) session is never evicted — dropping one
+        silently breaks the documented reconnect/resume guarantee under
+        ≥64 concurrent migrations.  If every retained session is live,
+        the map grows past the cap with a warning instead.
+        """
+        while len(self._sessions) > _MAX_RETAINED_SESSIONS:
+            victim_id = next(
+                (sid for sid, s in self._sessions.items() if s.completed), None
+            )
+            if victim_id is None:
+                log.warning(
+                    "session soft cap exceeded with every session live; "
+                    "growing the retention map",
+                    host=self.name,
+                    sessions=len(self._sessions),
+                    cap=_MAX_RETAINED_SESSIONS,
+                )
+                get_registry().gauge("daemon.sessions.live_overflow").set(
+                    len(self._sessions) - _MAX_RETAINED_SESSIONS
+                )
+                return
+            victim = self._sessions.pop(victim_id)
+            victim.release_refs()
+            if self.repository is not None:
+                self.repository.drop_session(victim_id)
 
     async def _serve_session(self, stream: ShapedStream) -> None:
         codec = FrameCodec()
@@ -471,9 +676,21 @@ class CheckpointDaemon:
             elif frame.type == TYPE_COMPLETE:
                 result = session.finish(frame)
                 if result["ok"]:
-                    self.checkpoints[session.vm_id] = HostedCheckpoint(
-                        vm_id=session.vm_id,
-                        slot_digests=list(session.slot_digests),
+                    self._adopt_checkpoint(
+                        session.vm_id,
+                        list(session.slot_digests),
+                        algorithm=session.algorithm,
+                        page_size=session.page_size,
+                    )
+                if self.repository is not None:
+                    self.repository.save_session(
+                        session.session_id,
+                        {
+                            "vm_id": session.vm_id,
+                            "result": result,
+                            "rounds": session.round_no,
+                            "applied_in_round": session.applied_in_round,
+                        },
                     )
                 registry = get_registry()
                 registry.counter("daemon.sessions.completed").add(1)

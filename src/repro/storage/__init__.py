@@ -1,4 +1,4 @@
-"""Storage substrate: disk cost models and disk-image synchronization."""
+"""Storage substrate: disk models, image sync, and the durable repository."""
 
 from repro.storage.blocksync import (
     BLOCK_SIZE,
@@ -8,9 +8,23 @@ from repro.storage.blocksync import (
     plan_disk_sync,
 )
 from repro.storage.disk import HDD_HD204UI, SSD_INTEL330, TMPFS, Disk, get_disk
+from repro.storage.repository import (
+    FAULT_POINTS,
+    CheckpointManifest,
+    CheckpointRepository,
+    RecoveryReport,
+    RepositoryError,
+    VerifyReport,
+)
 
 __all__ = [
     "BLOCK_SIZE",
+    "CheckpointManifest",
+    "CheckpointRepository",
+    "FAULT_POINTS",
+    "RecoveryReport",
+    "RepositoryError",
+    "VerifyReport",
     "DiskImage",
     "DiskSyncPlan",
     "disk_sync_seconds",

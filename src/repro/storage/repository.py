@@ -1,0 +1,604 @@
+"""Durable, crash-safe on-disk checkpoint repository.
+
+VeCycle's premise is that a checkpoint written at migration time is
+*still on the source host's disk* when the VM ping-pongs back (§3.3,
+"local storage is cheap and abundant").  A daemon that keeps its
+checkpoints and content store purely in memory forfeits exactly that
+state on every restart, so :class:`CheckpointRepository` puts both on
+disk with crash-safe semantics:
+
+* **Segments** — one file per distinct page content, named by the page's
+  checksum and fanned out over 256 subdirectories
+  (``segments/ab/ab12...page``).  Content addressing means a page shared
+  by many checkpoints (or many VMs on a consolidation host) occupies
+  one file; equality of names is equality of bytes.
+* **Manifests** — one JSON file per hosted checkpoint
+  (``manifests/<vm>.json``) holding the slot → digest map plus metadata.
+  The manifest is the *commit point*: a checkpoint exists iff its
+  manifest file exists.
+* **Sessions** — completed migration results
+  (``sessions/<session>.json``) so a source reconnecting after a daemon
+  restart still gets its RESULT replayed idempotently.
+
+Every file is written atomically: write to a temp file in the same
+directory, ``fsync``, ``rename`` over the final name, then ``fsync`` the
+directory.  A crash (``kill -9`` included) between any two steps leaves
+either the old state or the new state, never a torn file — segments are
+written *before* the manifest that references them, so the rename of the
+manifest is the single commit point and a crash mid-checkpoint loses at
+most the in-flight checkpoint.
+
+On startup :meth:`recover` rebuilds the in-memory refcount index from
+the manifests, verifies that every referenced segment exists and (when
+``verify_digests``) hashes back to its name, and *quarantines* rather
+than crashes on corrupt entries: a bad segment is moved to
+``quarantine/`` and every manifest referencing it follows, so one
+flipped bit costs one checkpoint, not the daemon.
+
+Refcounts make retention actually free bytes: dropping the last
+checkpoint that references a segment deletes the segment file
+(``repo.bytes_reclaimed``).  Orphan segments from crashed mid-commit
+writes are swept by :meth:`gc`.
+
+Test hooks: :attr:`CheckpointRepository.fault_hook` is called with a
+named fault point (``"segment.written"``, ``"manifest.written"``, ...)
+between the temp-file write and the rename; a hook that raises
+simulates ``kill -9`` at exactly that instant, and re-opening the same
+directory simulates the restart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+from urllib.parse import quote, unquote
+
+from repro.core.checksum import ChecksumAlgorithm, MD5, get_algorithm
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
+
+log = get_logger(__name__)
+
+_SEGMENT_SUFFIX = ".page"
+_MANIFEST_SUFFIX = ".json"
+_TMP_PREFIX = ".tmp-"
+
+FAULT_SEGMENT_WRITTEN = "segment.written"
+"""Fault point: segment temp file written + fsynced, not yet renamed."""
+
+FAULT_MANIFEST_WRITTEN = "manifest.written"
+"""Fault point: manifest temp file written + fsynced, not yet renamed."""
+
+FAULT_MANIFEST_COMMITTED = "manifest.committed"
+"""Fault point: manifest renamed into place, directory not yet fsynced."""
+
+FAULT_SESSION_WRITTEN = "session.written"
+"""Fault point: session temp file written + fsynced, not yet renamed."""
+
+FAULT_POINTS = (
+    FAULT_SEGMENT_WRITTEN,
+    FAULT_MANIFEST_WRITTEN,
+    FAULT_MANIFEST_COMMITTED,
+    FAULT_SESSION_WRITTEN,
+)
+"""Every named persistence fault point, for crash-matrix tests."""
+
+
+class RepositoryError(RuntimeError):
+    """The on-disk repository is unusable (not per-entry corruption)."""
+
+
+@dataclass(frozen=True)
+class CheckpointManifest:
+    """The durable description of one hosted checkpoint.
+
+    The slot → digest map is stored as a table of distinct digests plus
+    per-slot indices into it, so a duplicate-heavy image costs one hex
+    string per *content*, not per slot.
+    """
+
+    vm_id: str
+    slot_digests: List[bytes]
+    algorithm: str = MD5.name
+    page_size: int = 4096
+    timestamp: float = 0.0
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.slot_digests)
+
+    @property
+    def unique_digests(self) -> List[bytes]:
+        return sorted(set(self.slot_digests))
+
+    def to_json(self) -> str:
+        """Serialize to the on-disk manifest format (version 1)."""
+        table: Dict[bytes, int] = {}
+        slots: List[int] = []
+        for digest in self.slot_digests:
+            index = table.setdefault(digest, len(table))
+            slots.append(index)
+        return json.dumps(
+            {
+                "version": 1,
+                "vm_id": self.vm_id,
+                "algorithm": self.algorithm,
+                "page_size": self.page_size,
+                "timestamp": self.timestamp,
+                "digests": [d.hex() for d in table],
+                "slots": slots,
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CheckpointManifest":
+        """Parse and validate a manifest; raises ValueError on damage."""
+        data = json.loads(text)
+        if data.get("version") != 1:
+            raise ValueError(f"unsupported manifest version {data.get('version')!r}")
+        table = [bytes.fromhex(d) for d in data["digests"]]
+        algorithm = get_algorithm(data["algorithm"])
+        for digest in table:
+            if len(digest) != algorithm.digest_size:
+                raise ValueError(
+                    f"digest length {len(digest)} does not match "
+                    f"{algorithm.name}"
+                )
+        slots = data["slots"]
+        if any(not 0 <= s < len(table) for s in slots):
+            raise ValueError("slot index outside digest table")
+        return cls(
+            vm_id=data["vm_id"],
+            slot_digests=[table[s] for s in slots],
+            algorithm=data["algorithm"],
+            page_size=int(data["page_size"]),
+            timestamp=float(data["timestamp"]),
+        )
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`CheckpointRepository.recover` found on disk."""
+
+    checkpoints: List[CheckpointManifest] = field(default_factory=list)
+    sessions: Dict[str, dict] = field(default_factory=dict)
+    quarantined: List[str] = field(default_factory=list)
+    orphan_segments: int = 0
+    temp_files_removed: int = 0
+
+    @property
+    def recovered(self) -> int:
+        return len(self.checkpoints)
+
+
+@dataclass
+class VerifyReport:
+    """Result of a full segment-digest audit (:meth:`verify`)."""
+
+    segments_checked: int = 0
+    corrupt_segments: List[str] = field(default_factory=list)
+    quarantined_manifests: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.corrupt_segments and not self.quarantined_manifests
+
+
+class CheckpointRepository:
+    """Content-addressed segment files + atomic per-checkpoint manifests.
+
+    Args:
+        root: State directory; created (with subdirectories) if absent.
+        fsync: Durability barriers on every write.  Tests may disable
+            them for speed; the write *ordering* (temp → rename) is kept
+            either way.
+    """
+
+    def __init__(self, root: Path | str, fsync: bool = True) -> None:
+        self.root = Path(root)
+        self.segments_dir = self.root / "segments"
+        self.manifests_dir = self.root / "manifests"
+        self.sessions_dir = self.root / "sessions"
+        self.quarantine_dir = self.root / "quarantine"
+        for directory in (
+            self.root,
+            self.segments_dir,
+            self.manifests_dir,
+            self.sessions_dir,
+            self.quarantine_dir,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.fault_hook: Optional[Callable[[str], None]] = None
+        # digest → number of manifests referencing it (not per-slot).
+        self._refcounts: Dict[bytes, int] = {}
+        self._quarantine_serial = 0
+
+    # --- low-level atomic writes ---------------------------------------
+
+    def _fault(self, point: str) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(point)
+
+    def _fsync_dir(self, directory: Path) -> None:
+        if not self.fsync:
+            return
+        fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def _write_atomic(
+        self, final: Path, data: bytes, fault_point: Optional[str] = None
+    ) -> None:
+        """Temp file + fsync + rename + directory fsync."""
+        final.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=_TMP_PREFIX, suffix=".partial", dir=final.parent
+        )
+        tmp = Path(tmp_name)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            if fault_point is not None:
+                self._fault(fault_point)
+            os.replace(tmp, final)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        self._fsync_dir(final.parent)
+
+    # --- naming ---------------------------------------------------------
+
+    def _segment_path(self, digest: bytes) -> Path:
+        name = digest.hex()
+        return self.segments_dir / name[:2] / (name + _SEGMENT_SUFFIX)
+
+    def _manifest_path(self, vm_id: str) -> Path:
+        return self.manifests_dir / (quote(vm_id, safe="") + _MANIFEST_SUFFIX)
+
+    def _session_path(self, session_id: str) -> Path:
+        return self.sessions_dir / (quote(session_id, safe="") + _MANIFEST_SUFFIX)
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad file aside; never raises, never deletes evidence."""
+        self._quarantine_serial += 1
+        target = self.quarantine_dir / f"{self._quarantine_serial:04d}-{path.name}"
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - best effort
+            path.unlink(missing_ok=True)
+        get_registry().counter("repo.quarantined").add()
+        log.warning("quarantined corrupt entry", path=str(path), reason=reason)
+
+    # --- segments -------------------------------------------------------
+
+    def put_page(self, digest: bytes, page: bytes) -> bool:
+        """Durably store ``page`` under ``digest``; True if newly written.
+
+        Idempotent: re-putting existing content is a no-op, so a resumed
+        migration or a recovering daemon can replay puts freely.
+        """
+        final = self._segment_path(digest)
+        if final.exists():
+            return False
+        self._write_atomic(final, page, fault_point=FAULT_SEGMENT_WRITTEN)
+        return True
+
+    def get_page(self, digest: bytes) -> Optional[bytes]:
+        """The stored page bytes for ``digest``, or None."""
+        try:
+            return self._segment_path(digest).read_bytes()
+        except FileNotFoundError:
+            return None
+
+    def has_page(self, digest: bytes) -> bool:
+        """Whether a committed segment exists for ``digest``."""
+        return self._segment_path(digest).exists()
+
+    def _iter_segments(self):
+        for fan in sorted(self.segments_dir.iterdir()):
+            if not fan.is_dir():
+                continue
+            yield from sorted(fan.glob("*" + _SEGMENT_SUFFIX))
+
+    # --- refcounts ------------------------------------------------------
+
+    def refcount(self, digest: bytes) -> int:
+        """How many committed manifests reference ``digest``."""
+        return self._refcounts.get(digest, 0)
+
+    def _retain_all(self, digests) -> None:
+        for digest in set(digests):
+            self._refcounts[digest] = self._refcounts.get(digest, 0) + 1
+
+    def _release_all(self, digests) -> int:
+        """Release one manifest's references; delete dead segments.
+
+        Returns the number of segment bytes actually reclaimed.
+        """
+        reclaimed = 0
+        for digest in set(digests):
+            count = self._refcounts.get(digest, 0) - 1
+            if count > 0:
+                self._refcounts[digest] = count
+                continue
+            self._refcounts.pop(digest, None)
+            reclaimed += self._delete_segment(digest)
+        if reclaimed:
+            get_registry().counter("repo.bytes_reclaimed").add(reclaimed)
+        return reclaimed
+
+    def _delete_segment(self, digest: bytes) -> int:
+        path = self._segment_path(digest)
+        try:
+            size = path.stat().st_size
+            path.unlink()
+        except FileNotFoundError:
+            return 0
+        return size
+
+    # --- checkpoints ----------------------------------------------------
+
+    def commit_checkpoint(self, manifest: CheckpointManifest) -> int:
+        """Atomically commit ``manifest``; pages must already be stored.
+
+        The manifest rename is the commit point.  Replacing an earlier
+        checkpoint of the same VM releases its references afterwards, so
+        a crash in between leaves *some* committed checkpoint for the
+        VM, never none.  Returns segment bytes reclaimed from the
+        replaced checkpoint.
+
+        Raises:
+            RepositoryError: if a referenced segment is missing — the
+                caller forgot :meth:`put_page`, and committing would
+                create a checkpoint that cannot be recovered.
+        """
+        missing = [d for d in manifest.unique_digests if not self.has_page(d)]
+        if missing:
+            raise RepositoryError(
+                f"checkpoint {manifest.vm_id!r} references "
+                f"{len(missing)} unstored segment(s), e.g. {missing[0].hex()}"
+            )
+        previous = self.load_manifest(manifest.vm_id)
+        path = self._manifest_path(manifest.vm_id)
+        self._write_atomic(
+            path,
+            manifest.to_json().encode("utf-8"),
+            fault_point=FAULT_MANIFEST_WRITTEN,
+        )
+        self._fault(FAULT_MANIFEST_COMMITTED)
+        self._retain_all(manifest.slot_digests)
+        reclaimed = 0
+        if previous is not None:
+            reclaimed = self._release_all(previous.slot_digests)
+        return reclaimed
+
+    def load_manifest(self, vm_id: str) -> Optional[CheckpointManifest]:
+        """Parse the committed manifest for ``vm_id``, or None."""
+        path = self._manifest_path(vm_id)
+        try:
+            text = path.read_text("utf-8")
+        except FileNotFoundError:
+            return None
+        return CheckpointManifest.from_json(text)
+
+    def delete_checkpoint(self, vm_id: str) -> int:
+        """Drop the checkpoint for ``vm_id``; returns bytes reclaimed."""
+        manifest = self.load_manifest(vm_id)
+        if manifest is None:
+            return 0
+        path = self._manifest_path(vm_id)
+        path.unlink(missing_ok=True)
+        self._fsync_dir(self.manifests_dir)
+        return self._release_all(manifest.slot_digests)
+
+    def list_checkpoints(self) -> List[CheckpointManifest]:
+        """All committed manifests, sorted by vm_id; skips corrupt ones."""
+        manifests = []
+        for path in sorted(self.manifests_dir.glob("*" + _MANIFEST_SUFFIX)):
+            try:
+                manifests.append(CheckpointManifest.from_json(path.read_text("utf-8")))
+            except (ValueError, KeyError, TypeError, OSError):
+                continue
+        return manifests
+
+    # --- sessions -------------------------------------------------------
+
+    def save_session(self, session_id: str, payload: dict) -> None:
+        """Durably record a completed session's RESULT for replay."""
+        self._write_atomic(
+            self._session_path(session_id),
+            json.dumps(payload, separators=(",", ":")).encode("utf-8"),
+            fault_point=FAULT_SESSION_WRITTEN,
+        )
+
+    def drop_session(self, session_id: str) -> None:
+        """Forget a persisted session result (idempotent)."""
+        self._session_path(session_id).unlink(missing_ok=True)
+
+    def load_sessions(self) -> Dict[str, dict]:
+        """session_id → persisted payload; corrupt entries quarantined."""
+        sessions: Dict[str, dict] = {}
+        for path in sorted(self.sessions_dir.glob("*" + _MANIFEST_SUFFIX)):
+            try:
+                payload = json.loads(path.read_text("utf-8"))
+                if not isinstance(payload, dict):
+                    raise ValueError("session payload is not an object")
+            except (ValueError, OSError) as exc:
+                self._quarantine(path, f"unreadable session: {exc}")
+                continue
+            sessions[unquote(path.name[: -len(_MANIFEST_SUFFIX)])] = payload
+        return sessions
+
+    # --- recovery, verification, gc ------------------------------------
+
+    def _remove_temp_files(self) -> int:
+        """Delete leftovers of writes that never reached their rename."""
+        removed = 0
+        for directory in (self.manifests_dir, self.sessions_dir):
+            for tmp in directory.glob(_TMP_PREFIX + "*"):
+                tmp.unlink(missing_ok=True)
+                removed += 1
+        for fan in self.segments_dir.iterdir():
+            if fan.is_dir():
+                for tmp in fan.glob(_TMP_PREFIX + "*"):
+                    tmp.unlink(missing_ok=True)
+                    removed += 1
+        return removed
+
+    def recover(self, verify_digests: bool = True) -> RecoveryReport:
+        """Rebuild the refcount index from disk; quarantine corruption.
+
+        Every committed manifest is parsed and its referenced segments
+        checked for existence; with ``verify_digests`` each referenced
+        segment is also re-hashed and compared against its name.  A
+        manifest that fails any check is quarantined along with the
+        offending segment — recovery never raises on per-entry damage.
+        """
+        report = RecoveryReport()
+        report.temp_files_removed = self._remove_temp_files()
+        self._refcounts = {}
+        checked: Dict[bytes, bool] = {}
+        for path in sorted(self.manifests_dir.glob("*" + _MANIFEST_SUFFIX)):
+            try:
+                manifest = CheckpointManifest.from_json(path.read_text("utf-8"))
+            except (ValueError, KeyError, TypeError, OSError) as exc:
+                self._quarantine(path, f"unreadable manifest: {exc}")
+                report.quarantined.append(path.name)
+                continue
+            algorithm = get_algorithm(manifest.algorithm)
+            bad = self._check_segments(
+                manifest, algorithm, checked, verify_digests
+            )
+            if bad is not None:
+                self._quarantine(path, f"references corrupt segment {bad.hex()}")
+                report.quarantined.append(path.name)
+                continue
+            self._retain_all(manifest.slot_digests)
+            report.checkpoints.append(manifest)
+        report.sessions = self.load_sessions()
+        report.orphan_segments = sum(
+            1
+            for segment in self._iter_segments()
+            if bytes.fromhex(segment.stem) not in self._refcounts
+        )
+        registry = get_registry()
+        registry.counter("repo.recovered_checkpoints").add(report.recovered)
+        if report.quarantined or report.orphan_segments:
+            log.warning(
+                "repository recovery found damage",
+                quarantined=len(report.quarantined),
+                orphan_segments=report.orphan_segments,
+            )
+        return report
+
+    def _check_segments(
+        self,
+        manifest: CheckpointManifest,
+        algorithm: ChecksumAlgorithm,
+        checked: Dict[bytes, bool],
+        verify_digests: bool,
+    ) -> Optional[bytes]:
+        """First corrupt/missing digest referenced by ``manifest``, or None.
+
+        A corrupt segment is quarantined on first sight; the verdict is
+        memoized so shared segments are hashed once per recovery.
+        """
+        for digest in manifest.unique_digests:
+            verdict = checked.get(digest)
+            if verdict is None:
+                page = self.get_page(digest)
+                if page is None:
+                    verdict = False
+                elif verify_digests and algorithm.digest(page) != digest:
+                    self._quarantine(
+                        self._segment_path(digest), "segment digest mismatch"
+                    )
+                    verdict = False
+                else:
+                    verdict = True
+                checked[digest] = verdict
+            if not verdict:
+                return digest
+        return None
+
+    def verify(self) -> VerifyReport:
+        """Audit every segment against its name; quarantine mismatches.
+
+        Unlike :meth:`recover` (which only hashes *referenced*
+        segments), this walks the whole segment tree — the
+        ``vecycle repo verify`` scrub.  Manifests left referencing a
+        quarantined segment are quarantined too.
+        """
+        report = VerifyReport()
+        algorithms = {m.algorithm for m in self.list_checkpoints()} or {MD5.name}
+        by_size = {
+            get_algorithm(name).digest_size: get_algorithm(name)
+            for name in algorithms
+        }
+        corrupt: set[bytes] = set()
+        for segment in list(self._iter_segments()):
+            digest = bytes.fromhex(segment.stem)
+            report.segments_checked += 1
+            algorithm = by_size.get(len(digest), MD5)
+            try:
+                page = segment.read_bytes()
+            except OSError:
+                page = None
+            if page is None or algorithm.digest(page) != digest:
+                corrupt.add(digest)
+                report.corrupt_segments.append(segment.stem)
+                self._quarantine(segment, "segment digest mismatch")
+        if corrupt:
+            for path in sorted(self.manifests_dir.glob("*" + _MANIFEST_SUFFIX)):
+                try:
+                    manifest = CheckpointManifest.from_json(path.read_text("utf-8"))
+                except (ValueError, KeyError, TypeError, OSError):
+                    continue
+                if corrupt.intersection(manifest.slot_digests):
+                    self._quarantine(path, "references corrupt segment")
+                    report.quarantined_manifests.append(path.name)
+        if report.quarantined_manifests:
+            # Segments stranded by the quarantined manifests are swept
+            # by gc(); refcounts are rebuilt by the next recover().
+            self.recover(verify_digests=False)
+        return report
+
+    def gc(self) -> int:
+        """Delete unreferenced segments (orphans of crashed commits).
+
+        Recomputes the live set from the committed manifests, so it is
+        safe to run on a freshly opened repository.  Returns bytes
+        reclaimed.
+        """
+        live: set[bytes] = set()
+        for manifest in self.list_checkpoints():
+            live.update(manifest.slot_digests)
+        reclaimed = 0
+        for segment in list(self._iter_segments()):
+            if bytes.fromhex(segment.stem) in live:
+                continue
+            try:
+                size = segment.stat().st_size
+                segment.unlink()
+            except OSError:  # pragma: no cover - racing deletes
+                continue
+            reclaimed += size
+        if reclaimed:
+            get_registry().counter("repo.bytes_reclaimed").add(reclaimed)
+        return reclaimed
+
+    @property
+    def stored_bytes(self) -> int:
+        """Total segment bytes currently on disk."""
+        return sum(segment.stat().st_size for segment in self._iter_segments())

@@ -4,8 +4,9 @@ import numpy as np
 import pytest
 
 from repro.core.checksum import MD5, PAGE_SIZE
-from repro.mem.pagestore import PageStore
+from repro.mem.pagestore import ContentAddressedStore, PageStore
 from repro.obs.metrics import get_registry
+from repro.storage.repository import CheckpointRepository
 
 
 class TestPageBytes:
@@ -93,6 +94,79 @@ class TestLruEviction:
             store.digest_for(content_id)
         assert len(store._digest_cache) <= 3
         assert counter.value > before
+
+
+def _page(tag: bytes) -> bytes:
+    return (tag * 64)[:64]
+
+
+def _digest(tag: bytes) -> bytes:
+    return MD5.digest(_page(tag))
+
+
+class TestContentAddressedStore:
+    def test_put_get_dedup(self):
+        store = ContentAddressedStore()
+        assert store.put(_digest(b"a"), _page(b"a")) is True
+        assert store.put(_digest(b"a"), _page(b"a")) is False
+        assert store.get(_digest(b"a")) == _page(b"a")
+        assert store.get(_digest(b"b")) is None
+        assert len(store) == 1
+
+    def test_stored_bytes_is_a_running_total(self):
+        store = ContentAddressedStore()
+        for tag in (b"a", b"b", b"c"):
+            store.put(_digest(tag), _page(tag))
+            store.retain(_digest(tag))
+        assert store.stored_bytes == 3 * 64
+        store.release(_digest(b"a"))
+        assert store.stored_bytes == 2 * 64
+
+    def test_release_evicts_only_at_last_reference(self):
+        store = ContentAddressedStore()
+        store.put(_digest(b"x"), _page(b"x"))
+        store.retain(_digest(b"x"))
+        store.retain(_digest(b"x"))
+        assert store.refcount(_digest(b"x")) == 2
+        assert store.release(_digest(b"x")) == 0  # one owner remains
+        assert _digest(b"x") in store
+        assert store.release(_digest(b"x")) == 64  # last owner gone
+        assert _digest(b"x") not in store
+        assert store.stored_bytes == 0
+
+    def test_retain_release_many_skip_none_slots(self):
+        store = ContentAddressedStore()
+        store.put(_digest(b"a"), _page(b"a"))
+        digests = [_digest(b"a"), None, _digest(b"a")]
+        store.retain_many(digests)
+        assert store.refcount(_digest(b"a")) == 2
+        assert store.release_many(digests) == 64
+
+    def test_sweep_evicts_unreferenced_only(self):
+        store = ContentAddressedStore()
+        store.put(_digest(b"kept"), _page(b"kept"))
+        store.retain(_digest(b"kept"))
+        store.put(_digest(b"loose"), _page(b"loose"))
+        assert store.sweep_unreferenced() == 64
+        assert _digest(b"kept") in store
+        assert _digest(b"loose") not in store
+
+    def test_put_writes_through_to_repository(self, tmp_path):
+        repo = CheckpointRepository(tmp_path, fsync=False)
+        store = ContentAddressedStore(repository=repo)
+        store.put(_digest(b"d"), _page(b"d"))
+        # Durable before any manifest referencing it could commit.
+        assert repo.get_page(_digest(b"d")) == _page(b"d")
+
+    def test_get_faults_released_page_back_in_from_repository(self, tmp_path):
+        repo = CheckpointRepository(tmp_path, fsync=False)
+        repo.put_page(_digest(b"s"), _page(b"s"))
+        repo._refcounts[_digest(b"s")] = 1  # keep the segment alive
+        store = ContentAddressedStore(repository=repo)
+        assert store.stored_bytes == 0  # not resident
+        assert _digest(b"s") in store  # but reachable
+        assert store.get(_digest(b"s")) == _page(b"s")  # spill/load
+        assert store.stored_bytes == 64  # resident again
 
 
 class TestDigests:

@@ -1,0 +1,110 @@
+"""Regression tests for the daemon's session-retention soft cap.
+
+The old pruning used ``popitem(last=False)``: strictly oldest-first,
+which under ≥64 concurrent migrations evicted *in-progress* sessions
+and silently broke the documented reconnect/resume guarantee.  The
+fixed policy retires only completed sessions, and when every retained
+session is live it grows past the soft cap with a warning instead.
+"""
+
+import logging
+
+from repro.core.checksum import MD5
+from repro.core.transfer import Method
+from repro.obs.metrics import get_registry
+from repro.runtime.daemon import (
+    _MAX_RETAINED_SESSIONS,
+    CheckpointDaemon,
+    _SinkSession,
+)
+
+
+def make_session(daemon, session_id, completed):
+    """Fabricate a retained session directly in the daemon's map."""
+    session = _SinkSession(
+        session_id=session_id,
+        vm_id=f"vm-{session_id}",
+        num_pages=4,
+        method=Method.FULL,
+        algorithm=MD5,
+        store=daemon.store,
+        preload=None,
+    )
+    session.completed = completed
+    if completed:
+        session.result = {"ok": True}
+    daemon._sessions[session_id] = session
+    return session
+
+
+class TestSessionRetention:
+    def test_completed_sessions_evicted_before_any_live_one(self):
+        daemon = CheckpointDaemon()
+        live = [
+            make_session(daemon, f"live-{i}", completed=False)
+            for i in range(_MAX_RETAINED_SESSIONS)
+        ]
+        # These completed ones push the map past the cap; they (and only
+        # they) must be the victims even though every live session is
+        # older insertion-order-wise.
+        for i in range(8):
+            make_session(daemon, f"done-{i}", completed=True)
+        daemon._prune_sessions()
+        assert len(daemon._sessions) == _MAX_RETAINED_SESSIONS
+        for session in live:
+            assert session.session_id in daemon._sessions
+
+    def test_oldest_completed_evicted_first(self):
+        daemon = CheckpointDaemon()
+        for i in range(_MAX_RETAINED_SESSIONS + 2):
+            make_session(daemon, f"done-{i}", completed=True)
+        daemon._prune_sessions()
+        assert "done-0" not in daemon._sessions
+        assert "done-1" not in daemon._sessions
+        assert f"done-{_MAX_RETAINED_SESSIONS + 1}" in daemon._sessions
+
+    def test_all_live_grows_past_cap_with_warning(self):
+        daemon = CheckpointDaemon()
+        for i in range(_MAX_RETAINED_SESSIONS + 3):
+            make_session(daemon, f"live-{i}", completed=False)
+
+        records = []
+        handler = logging.Handler()
+        handler.emit = records.append
+        logger = logging.getLogger("repro.runtime.daemon")
+        logger.addHandler(handler)
+        old_level = logger.level
+        logger.setLevel(logging.WARNING)
+        try:
+            daemon._prune_sessions()
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(old_level)
+
+        # Nobody was evicted: resume beats the soft cap.
+        assert len(daemon._sessions) == _MAX_RETAINED_SESSIONS + 3
+        assert any(
+            record.levelno == logging.WARNING
+            and "soft cap" in record.getMessage()
+            for record in records
+        )
+        overflow = get_registry().gauge("daemon.sessions.live_overflow")
+        assert overflow.value == 3
+
+    def test_evicted_session_releases_content_store_refs(self):
+        daemon = CheckpointDaemon()
+        page = b"p" * 4096
+        digest = MD5.digest(page)
+        victim = make_session(daemon, "victim", completed=True)
+        daemon.store.put(digest, page)
+        for slot in range(4):
+            victim._set_slot(slot, digest)
+        assert daemon.store.refcount(digest) == 4
+        for i in range(_MAX_RETAINED_SESSIONS):
+            make_session(daemon, f"live-{i}", completed=False)
+        daemon._prune_sessions()
+        assert "victim" not in daemon._sessions
+        # The retired session gave back every per-slot reference, so the
+        # content store reclaimed the bytes (the leak this PR fixes).
+        assert daemon.store.refcount(digest) == 0
+        assert daemon.store.stored_bytes == 0

@@ -1,0 +1,247 @@
+"""Unit tests for the durable checkpoint repository."""
+
+import json
+
+import pytest
+
+from repro.core.checksum import MD5
+from repro.obs.metrics import get_registry
+from repro.storage.repository import (
+    CheckpointManifest,
+    CheckpointRepository,
+    RepositoryError,
+)
+
+
+def page(tag: bytes, size: int = 64) -> bytes:
+    return (tag * size)[:size]
+
+
+def digest(tag: bytes, size: int = 64) -> bytes:
+    return MD5.digest(page(tag, size))
+
+
+def put_pages(repo, *tags):
+    digests = []
+    for tag in tags:
+        d = digest(tag)
+        repo.put_page(d, page(tag))
+        digests.append(d)
+    return digests
+
+
+def commit(repo, vm_id, tags, timestamp=0.0):
+    digests = put_pages(repo, *tags)
+    repo.commit_checkpoint(
+        CheckpointManifest(
+            vm_id=vm_id,
+            slot_digests=digests,
+            page_size=64,
+            timestamp=timestamp,
+        )
+    )
+    return digests
+
+
+class TestManifestFormat:
+    def test_roundtrip_preserves_slots_and_metadata(self):
+        digests = [digest(b"a"), digest(b"b"), digest(b"a")]
+        manifest = CheckpointManifest(
+            vm_id="vm/odd name",
+            slot_digests=digests,
+            page_size=64,
+            timestamp=123.5,
+        )
+        restored = CheckpointManifest.from_json(manifest.to_json())
+        assert restored == manifest
+
+    def test_duplicate_slots_stored_once(self):
+        manifest = CheckpointManifest(
+            vm_id="vm", slot_digests=[digest(b"a")] * 100, page_size=64
+        )
+        data = json.loads(manifest.to_json())
+        assert len(data["digests"]) == 1
+        assert len(data["slots"]) == 100
+
+    def test_bad_version_rejected(self):
+        data = json.loads(
+            CheckpointManifest(vm_id="vm", slot_digests=[digest(b"a")]).to_json()
+        )
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            CheckpointManifest.from_json(json.dumps(data))
+
+    def test_out_of_range_slot_rejected(self):
+        data = json.loads(
+            CheckpointManifest(vm_id="vm", slot_digests=[digest(b"a")]).to_json()
+        )
+        data["slots"] = [5]
+        with pytest.raises(ValueError):
+            CheckpointManifest.from_json(json.dumps(data))
+
+
+class TestSegments:
+    def test_put_get_roundtrip(self, tmp_path):
+        repo = CheckpointRepository(tmp_path)
+        d = digest(b"x")
+        assert repo.put_page(d, page(b"x")) is True
+        assert repo.put_page(d, page(b"x")) is False  # idempotent
+        assert repo.get_page(d) == page(b"x")
+        assert repo.has_page(d)
+        assert repo.get_page(digest(b"y")) is None
+
+    def test_commit_requires_stored_pages(self, tmp_path):
+        repo = CheckpointRepository(tmp_path)
+        with pytest.raises(RepositoryError):
+            repo.commit_checkpoint(
+                CheckpointManifest(vm_id="vm", slot_digests=[digest(b"nope")])
+            )
+
+
+class TestRefcountsAndReclaim:
+    def test_replacing_checkpoint_frees_exclusive_segments(self, tmp_path):
+        repo = CheckpointRepository(tmp_path, fsync=False)
+        commit(repo, "vm", [b"a", b"b"])
+        old_exclusive = digest(b"a")
+        shared = digest(b"b")
+        commit(repo, "vm", [b"b", b"c"])
+        assert not repo.has_page(old_exclusive)
+        assert repo.has_page(shared)
+        assert repo.has_page(digest(b"c"))
+
+    def test_shared_segment_survives_until_last_reference(self, tmp_path):
+        repo = CheckpointRepository(tmp_path, fsync=False)
+        commit(repo, "vm1", [b"s", b"1"])
+        commit(repo, "vm2", [b"s", b"2"])
+        shared = digest(b"s")
+        assert repo.delete_checkpoint("vm1") > 0
+        assert repo.has_page(shared)  # vm2 still references it
+        assert not repo.has_page(digest(b"1"))
+        assert repo.delete_checkpoint("vm2") > 0
+        assert not repo.has_page(shared)
+
+    def test_reclaim_counter_tracks_freed_bytes(self, tmp_path):
+        registry = get_registry()
+        before = registry.counter("repo.bytes_reclaimed").value
+        repo = CheckpointRepository(tmp_path, fsync=False)
+        commit(repo, "vm", [b"a", b"b"])
+        freed = repo.delete_checkpoint("vm")
+        assert freed == 128
+        assert registry.counter("repo.bytes_reclaimed").value == before + 128
+
+    def test_gc_sweeps_orphan_segments(self, tmp_path):
+        repo = CheckpointRepository(tmp_path, fsync=False)
+        commit(repo, "vm", [b"a"])
+        put_pages(repo, b"orphan1", b"orphan2")  # never committed
+        assert repo.gc() == 128
+        assert repo.has_page(digest(b"a"))
+        assert not repo.has_page(digest(b"orphan1"))
+
+
+class TestRecovery:
+    def test_reopen_recovers_committed_checkpoints(self, tmp_path):
+        repo = CheckpointRepository(tmp_path, fsync=False)
+        commit(repo, "vm1", [b"a", b"b"], timestamp=10.0)
+        commit(repo, "vm2", [b"b", b"c"], timestamp=20.0)
+
+        reopened = CheckpointRepository(tmp_path, fsync=False)
+        report = reopened.recover()
+        assert report.recovered == 2
+        assert not report.quarantined
+        by_vm = {m.vm_id: m for m in report.checkpoints}
+        assert by_vm["vm1"].slot_digests == [digest(b"a"), digest(b"b")]
+        assert by_vm["vm1"].timestamp == 10.0
+        assert reopened.refcount(digest(b"b")) == 2
+        # Page bytes identical after the round trip.
+        assert reopened.get_page(digest(b"c")) == page(b"c")
+
+    def test_corrupt_segment_quarantined_not_fatal(self, tmp_path):
+        registry = get_registry()
+        before = registry.counter("repo.quarantined").value
+        repo = CheckpointRepository(tmp_path, fsync=False)
+        commit(repo, "good", [b"g"])
+        commit(repo, "bad", [b"x", b"y"])
+        victim = repo._segment_path(digest(b"x"))
+        victim.write_bytes(b"\xff" + victim.read_bytes()[1:])
+
+        reopened = CheckpointRepository(tmp_path, fsync=False)
+        report = reopened.recover()
+        assert [m.vm_id for m in report.checkpoints] == ["good"]
+        # Segment + manifest both quarantined, evidence preserved.
+        assert len(report.quarantined) == 1
+        assert registry.counter("repo.quarantined").value >= before + 2
+        assert list(reopened.quarantine_dir.iterdir())
+        assert reopened.load_manifest("bad") is None
+
+    def test_unparseable_manifest_quarantined(self, tmp_path):
+        repo = CheckpointRepository(tmp_path, fsync=False)
+        commit(repo, "good", [b"g"])
+        (repo.manifests_dir / "junk.json").write_text("{not json", "utf-8")
+        report = CheckpointRepository(tmp_path, fsync=False).recover()
+        assert report.recovered == 1
+        assert report.quarantined == ["junk.json"]
+
+    def test_recover_removes_stale_temp_files(self, tmp_path):
+        repo = CheckpointRepository(tmp_path, fsync=False)
+        (repo.manifests_dir / ".tmp-stale.partial").write_bytes(b"half")
+        report = repo.recover()
+        assert report.temp_files_removed == 1
+        assert not list(repo.manifests_dir.glob(".tmp-*"))
+
+    def test_recovered_counter(self, tmp_path):
+        registry = get_registry()
+        before = registry.counter("repo.recovered_checkpoints").value
+        repo = CheckpointRepository(tmp_path, fsync=False)
+        commit(repo, "vm1", [b"a"])
+        CheckpointRepository(tmp_path, fsync=False).recover()
+        assert (
+            registry.counter("repo.recovered_checkpoints").value == before + 1
+        )
+
+
+class TestVerify:
+    def test_full_scrub_quarantines_corruption(self, tmp_path):
+        repo = CheckpointRepository(tmp_path, fsync=False)
+        commit(repo, "vm", [b"a", b"b"])
+        victim = repo._segment_path(digest(b"b"))
+        victim.write_bytes(b"\x00" * 64)
+        repo.recover(verify_digests=False)
+        report = repo.verify()
+        assert not report.ok
+        assert report.corrupt_segments == [digest(b"b").hex()]
+        assert len(report.quarantined_manifests) == 1
+
+    def test_clean_repository_verifies(self, tmp_path):
+        repo = CheckpointRepository(tmp_path, fsync=False)
+        commit(repo, "vm", [b"a", b"b"])
+        report = repo.verify()
+        assert report.ok
+        assert report.segments_checked == 2
+
+
+class TestSessions:
+    def test_session_roundtrip(self, tmp_path):
+        repo = CheckpointRepository(tmp_path, fsync=False)
+        payload = {"vm_id": "vm", "result": {"ok": True}, "rounds": 2}
+        repo.save_session("migration/7", payload)
+        assert repo.load_sessions() == {"migration/7": payload}
+        repo.drop_session("migration/7")
+        assert repo.load_sessions() == {}
+
+    def test_corrupt_session_quarantined(self, tmp_path):
+        repo = CheckpointRepository(tmp_path, fsync=False)
+        repo.save_session("good", {"result": None})
+        (repo.sessions_dir / "bad.json").write_text("[broken", "utf-8")
+        assert set(repo.load_sessions()) == {"good"}
+
+
+class TestHostileNames:
+    def test_path_hostile_vm_id_stays_inside_repository(self, tmp_path):
+        repo = CheckpointRepository(tmp_path, fsync=False)
+        vm_id = "../../../etc/passwd"
+        commit(repo, vm_id, [b"a"])
+        manifests = list(repo.manifests_dir.glob("*.json"))
+        assert len(manifests) == 1
+        assert manifests[0].parent == repo.manifests_dir
+        restored = CheckpointRepository(tmp_path, fsync=False).recover()
+        assert [m.vm_id for m in restored.checkpoints] == [vm_id]
