@@ -15,6 +15,7 @@ Usage::
     vecycle migrate --size-mib 1024 --strategy vecycle --link wan-cloudnet
     vecycle runtime --size-mib 16 --strategy all [--inject-disconnect N]
     vecycle postcopy --size-mib 1024 --link wan-cloudnet
+    vecycle orchestrate [--hosts 3] [--migrations 6] [--policy best-checkpoint]
     vecycle consolidate [--vms 8] [--days 3]
     vecycle gang [--vms 8] [--shared 0.5]
     vecycle obs [--summary] [--from trace.jsonl]
@@ -55,6 +56,7 @@ from repro.mem.mutation import boot_populate
 from repro.migration.precopy import simulate_migration
 from repro.migration.vm import SimVM
 from repro.net.link import PRESETS as LINK_PRESETS, get_link
+from repro.orchestrator import available_policies
 from repro.obs import (
     configure_logging,
     enable as enable_tracing,
@@ -161,6 +163,27 @@ def _cmd_postcopy(args: argparse.Namespace) -> str:
             simulate_postcopy(vm, strategy, link, checkpoint=checkpoint).summary()
         )
     return "\n".join(lines)
+
+
+def _cmd_orchestrate(args: argparse.Namespace) -> str:
+    """Live cluster control plane demo over localhost daemons."""
+    from pathlib import Path
+
+    from repro.experiments import live_cluster
+
+    result = live_cluster.run(
+        hosts=args.hosts,
+        migrations=args.migrations,
+        policy=args.policy,
+        strategy=get_strategy(args.strategy),
+        vdi=args.vdi_crossval,
+        days=args.days,
+        interval_hours=args.interval_hours,
+        num_epochs=args.epochs,
+        state_root=Path(args.state_dir) if args.state_dir else None,
+        seed=args.seed,
+    )
+    return live_cluster.format_table(result)
 
 
 def _cmd_consolidate(args: argparse.Namespace) -> str:
@@ -586,6 +609,39 @@ def build_parser() -> argparse.ArgumentParser:
                     help="guest page writes per second")
     pp.add_argument("--seed", type=int, default=0)
     pp.set_defaults(func=_cmd_postcopy)
+
+    porc = add_parser(
+        "orchestrate",
+        help="live cluster demo: daemons + control plane with "
+        "checkpoint-aware placement, cross-validated against the "
+        "analytic model",
+    )
+    porc.add_argument("--hosts", type=int, default=3,
+                      help="daemons to boot (ping-pong pair + decoys)")
+    porc.add_argument("--migrations", type=int, default=6,
+                      help="ping-pong migrations to orchestrate")
+    porc.add_argument(
+        "--policy", default="best-checkpoint",
+        choices=available_policies(),
+        help="placement policy steering each migration",
+    )
+    porc.add_argument(
+        "--strategy", choices=available_strategies(), default="vecycle+dedup"
+    )
+    porc.add_argument("--interval-hours", type=float, default=4.0,
+                      help="hours between ping-pong migrations")
+    porc.add_argument("--vdi-crossval", action="store_true",
+                      help="replay the Figure-8 VDI weekday schedule "
+                      "instead of the ping-pong")
+    porc.add_argument("--days", type=int, default=1,
+                      help="trace days (and VDI schedule length)")
+    porc.add_argument("--epochs", type=int, default=None,
+                      help="trace length override (30-min epochs)")
+    porc.add_argument("--state-dir", default=None, metavar="DIR",
+                      help="root directory for per-daemon durable state "
+                      "(one subdirectory per host)")
+    porc.add_argument("--seed", type=int, default=99)
+    porc.set_defaults(func=_cmd_orchestrate)
 
     pc = add_parser("consolidate", help="fleet consolidation simulation")
     pc.add_argument("--vms", type=int, default=8)

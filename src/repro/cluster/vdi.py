@@ -78,8 +78,13 @@ class VdiResult:
         return [r.fractions[method] * 100.0 for r in self.records]
 
 
-def _fingerprint_at(trace: Trace, hours: float) -> tuple[Fingerprint, float]:
-    """The trace fingerprint nearest to trace time ``hours``."""
+def fingerprint_at(trace: Trace, hours: float) -> tuple[Fingerprint, float]:
+    """The trace fingerprint nearest to trace time ``hours``.
+
+    Returns ``(fingerprint, fingerprint_hours)``.  Public because the
+    live orchestrator's VDI cross-validation harness must pick the
+    exact same memory snapshots the analytic replay picks.
+    """
     timestamps = [fp.timestamp for fp in trace.fingerprints]
     target = hours * 3600.0
     position = bisect.bisect_left(timestamps, target)
@@ -88,6 +93,10 @@ def _fingerprint_at(trace: Trace, hours: float) -> tuple[Fingerprint, float]:
     ]
     best = min(candidates, key=lambda index: abs(timestamps[index] - target))
     return trace.fingerprints[best], timestamps[best] / 3600.0
+
+
+_fingerprint_at = fingerprint_at
+"""Backwards-compatible alias for the pre-export name."""
 
 
 def _first_migration_fractions(

@@ -16,6 +16,7 @@ from repro.experiments import (  # noqa: F401
     fig6_best_case,
     fig7_updates,
     fig8_vdi,
+    live_cluster,
     rates,
     summary,
     table1,
@@ -30,6 +31,7 @@ __all__ = [
     "fig6_best_case",
     "fig7_updates",
     "fig8_vdi",
+    "live_cluster",
     "rates",
     "summary",
     "table1",

@@ -47,6 +47,23 @@ ROUND_SECONDS_BUCKETS: Tuple[float, ...] = (
 """Histogram boundaries for round/phase durations (seconds), log-ish
 spaced from sub-millisecond loopback rounds to WAN stop-and-copy."""
 
+SCORE_BUCKETS: Tuple[float, ...] = (
+    0.01,
+    0.05,
+    0.1,
+    0.2,
+    0.3,
+    0.4,
+    0.5,
+    0.6,
+    0.7,
+    0.8,
+    0.9,
+    1.0,
+)
+"""Histogram boundaries for [0, 1] placement-policy scores (expected
+page-reuse fractions, sketch similarities)."""
+
 
 class Counter:
     """A monotonically increasing sum."""

@@ -1,0 +1,84 @@
+"""Live cluster control plane with checkpoint-aware placement.
+
+The analytic :mod:`repro.cluster` replay answers "what would this
+schedule cost"; :mod:`repro.orchestrator` actually runs it.  An
+:class:`Orchestrator` manages a fleet of
+:class:`~repro.runtime.daemon.CheckpointDaemon` hosts through the same
+wire protocol migrations use:
+
+* :class:`ClusterRegistry` polls each daemon with HEARTBEAT frames and
+  keeps a cluster-wide :class:`ClusterView` — liveness, capacity, and a
+  digest summary (page counts + bottom-k similarity sketch) of every
+  hosted checkpoint, durable entries included, so the inventory
+  survives daemon restarts.
+* A placement policy (:class:`BestCheckpoint`, :class:`DestinationSwap`,
+  :class:`CycleAware`) turns the view into a scored
+  :class:`PlacementDecision`, traced via :mod:`repro.obs`.
+* :class:`MigrationExecutor` runs the chosen migration under admission
+  control (per-host and cluster-wide concurrency caps) with bounded
+  retry on daemon disconnect and structured failure reporting.
+* :func:`replay_vdi_live` replays the Figure-8 VDI schedule through all
+  of the above on localhost daemons and checks the aggregate traffic
+  against the analytic :func:`~repro.cluster.vdi.replay_vdi`.
+"""
+
+from repro.orchestrator.controller import Orchestrator
+from repro.orchestrator.crossval import (
+    LiveVdiCrossValidation,
+    LiveVdiRecord,
+    replay_vdi_live,
+    run_live_vdi_crossval,
+)
+from repro.orchestrator.executor import (
+    AdmissionLimits,
+    MigrationExecutor,
+    MigrationOutcome,
+)
+from repro.orchestrator.inventory import (
+    DEFAULT_SKETCH_K,
+    CheckpointSummary,
+    ClusterView,
+    HostInventory,
+    digest_sketch,
+    sketch_similarity,
+)
+from repro.orchestrator.placement import (
+    BestCheckpoint,
+    CycleAware,
+    DestinationSwap,
+    PlacementDecision,
+    PlacementError,
+    PlacementPolicy,
+    PlacementRequest,
+    available_policies,
+    get_policy,
+)
+from repro.orchestrator.registry import ClusterRegistry, HostRecord
+
+__all__ = [
+    "AdmissionLimits",
+    "BestCheckpoint",
+    "CheckpointSummary",
+    "ClusterRegistry",
+    "ClusterView",
+    "CycleAware",
+    "DEFAULT_SKETCH_K",
+    "DestinationSwap",
+    "HostInventory",
+    "HostRecord",
+    "LiveVdiCrossValidation",
+    "LiveVdiRecord",
+    "MigrationExecutor",
+    "MigrationOutcome",
+    "Orchestrator",
+    "PlacementDecision",
+    "PlacementError",
+    "PlacementPolicy",
+    "PlacementRequest",
+    "available_policies",
+    "digest_sketch",
+    "get_policy",
+    "replay_vdi_live",
+    "run_live_vdi_crossval",
+    "sketch_similarity",
+]

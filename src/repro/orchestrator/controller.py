@@ -1,0 +1,177 @@
+"""The orchestrator: registry + policy + executor, wired together.
+
+One :class:`Orchestrator` is the control loop a cluster operator talks
+to: it polls the registry for the latest inventories, asks the
+placement policy for a scored destination, and hands the migration to
+the executor.  Every placement is traced
+(``orchestrator.place`` spans) and counted
+(``orchestrator.placements``), and each policy's scores feed a
+histogram (``orchestrator.score.<policy>``), so a run's decision
+quality is visible in the obs summary tree next to the migration
+traffic it produced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.strategies import MigrationStrategy, VECYCLE_DEDUP
+from repro.mem.pagestore import PageStore
+from repro.obs.log import get_logger
+from repro.obs.metrics import SCORE_BUCKETS, get_registry as _metrics
+from repro.obs.trace import span as _span
+from repro.orchestrator.executor import MigrationExecutor, MigrationOutcome
+from repro.orchestrator.inventory import digest_sketch
+from repro.orchestrator.placement import (
+    PlacementDecision,
+    PlacementPolicy,
+    PlacementRequest,
+)
+from repro.orchestrator.registry import ClusterRegistry
+from repro.runtime.source import (
+    DirtyFeed,
+    MigrationSource,
+    RuntimeConfig,
+    SourceState,
+)
+
+log = get_logger(__name__)
+
+
+class Orchestrator:
+    """Drives placed, admission-controlled migrations across the fleet.
+
+    Args:
+        registry: The heartbeat service holding the cluster view.
+        policy: Placement policy ranking destinations.
+        executor: Migration executor; a default one (default admission
+            limits) is built when omitted.
+        strategy: Migration strategy for every orchestrated move.
+        config: Source-side runtime config (timeouts, inner retry).
+        pagestore: Content id → bytes expander shared with the VMs.
+    """
+
+    def __init__(
+        self,
+        registry: ClusterRegistry,
+        policy: PlacementPolicy,
+        executor: Optional[MigrationExecutor] = None,
+        strategy: MigrationStrategy = VECYCLE_DEDUP,
+        config: Optional[RuntimeConfig] = None,
+        pagestore: Optional[PageStore] = None,
+    ) -> None:
+        self.registry = registry
+        self.policy = policy
+        self.executor = executor or MigrationExecutor()
+        self.strategy = strategy
+        self.config = config or RuntimeConfig()
+        self.pagestore = pagestore or PageStore()
+        self.locations: Dict[str, str] = {}
+        self.decisions: list = []
+
+    # --- placement ------------------------------------------------------
+
+    def place(self, request: PlacementRequest) -> PlacementDecision:
+        """Ask the policy for a scored destination; trace and count it."""
+        view = self.registry.view()
+        with _span(
+            "orchestrator.place",
+            vm=request.vm_id,
+            policy=self.policy.name,
+            source=request.source_host,
+        ) as place_span:
+            decision = self.policy.decide(request, view)
+            place_span.set(
+                destination=decision.destination or "(deferred)",
+                score=round(decision.score, 4),
+                deferred=decision.deferred,
+            )
+        registry = _metrics()
+        registry.counter("orchestrator.placements").add(1)
+        if decision.deferred:
+            registry.counter("orchestrator.placements.deferred").add(1)
+        else:
+            registry.histogram(
+                f"orchestrator.score.{self.policy.name}", SCORE_BUCKETS
+            ).observe(decision.score)
+        self.decisions.append(decision)
+        log.info(
+            "placement decided",
+            vm=request.vm_id,
+            policy=self.policy.name,
+            destination=decision.destination or "(deferred)",
+            score=round(decision.score, 4),
+            reason=decision.reason,
+        )
+        return decision
+
+    def request_for(
+        self,
+        vm_id: str,
+        hashes: np.ndarray,
+        source_host: Optional[str] = None,
+        active: bool = False,
+        deferrals: int = 0,
+    ) -> PlacementRequest:
+        """Build a placement request, sketching the VM's current memory."""
+        hashes = np.asarray(hashes, dtype=np.uint64)
+        digests = self.pagestore.digests_for(hashes, self.strategy.checksum)
+        return PlacementRequest(
+            vm_id=vm_id,
+            source_host=(
+                source_host
+                if source_host is not None
+                else self.locations.get(vm_id, "")
+            ),
+            num_pages=int(hashes.shape[0]),
+            page_size=self.pagestore.page_size,
+            sketch=tuple(digest_sketch(digests, k=self.registry.sketch_k)),
+            active=active,
+            deferrals=deferrals,
+        )
+
+    # --- the full loop --------------------------------------------------
+
+    async def migrate_vm(
+        self,
+        vm_id: str,
+        hashes: np.ndarray,
+        source_host: Optional[str] = None,
+        active: bool = False,
+        deferrals: int = 0,
+        dirty_feed: Optional[DirtyFeed] = None,
+        refresh: bool = True,
+    ) -> Tuple[PlacementDecision, Optional[MigrationOutcome]]:
+        """Place and execute one VM migration.
+
+        Returns the decision plus the executor's outcome; the outcome is
+        None when the policy deferred the migration.  With ``refresh``
+        the registry re-polls every daemon first, so the decision sees
+        checkpoints adopted by migrations that just finished.
+        """
+        if refresh:
+            await self.registry.poll_all()
+        request = self.request_for(
+            vm_id, hashes, source_host=source_host, active=active,
+            deferrals=deferrals,
+        )
+        decision = self.place(request)
+        if decision.deferred:
+            return decision, None
+        source = MigrationSource(
+            SourceState(vm_id=vm_id, hashes=hashes, pagestore=self.pagestore),
+            self.strategy,
+            config=self.config,
+        )
+        host, port = self.registry.address_of(decision.destination)
+        outcome = await self.executor.run(
+            source, decision.destination, host, port, dirty_feed=dirty_feed
+        )
+        if outcome.ok:
+            self.locations[vm_id] = decision.destination
+            self.policy.record_migration(
+                vm_id, request.source_host, decision.destination
+            )
+        return decision, outcome

@@ -1,0 +1,180 @@
+"""Migration executor: admission control + bounded retry + reporting.
+
+The executor is the only component that actually moves bytes.  It
+wraps :meth:`~repro.runtime.source.MigrationSource.migrate` with:
+
+* **Admission control** — a cluster-wide semaphore plus one per
+  destination host, so a burst of placement decisions cannot flood a
+  daemon past its advertised capacity.  The cluster slot is always
+  acquired before the host slot (a fixed acquisition order, so two
+  executors sharing limits cannot deadlock).
+* **Retry on disconnect** — the source already retries transport
+  failures internally per its
+  :class:`~repro.runtime.source.RetryPolicy`; the executor adds one
+  outer layer for the case where that budget is exhausted while the
+  daemon was merely restarting.  Re-running the *same* source resumes
+  the session (same session id → the daemon's READY frame reports the
+  resume point, a completed session replays its RESULT idempotently).
+* **Structured reporting** — every migration ends in a
+  :class:`MigrationOutcome`; executor callers never see a raw
+  exception for an individual migration failing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry as _metrics
+from repro.obs.trace import span as _span
+from repro.runtime.metrics import MigrationMetrics
+from repro.runtime.source import DirtyFeed, MigrationError, MigrationSource
+
+log = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class AdmissionLimits:
+    """Concurrency caps enforced by the executor."""
+
+    cluster_max: int = 4
+    per_host_max: int = 2
+    max_attempts: int = 2
+    retry_backoff_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.cluster_max < 1:
+            raise ValueError(f"cluster_max must be >= 1, got {self.cluster_max}")
+        if self.per_host_max < 1:
+            raise ValueError(f"per_host_max must be >= 1, got {self.per_host_max}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+
+@dataclass
+class MigrationOutcome:
+    """What happened to one orchestrated migration."""
+
+    vm_id: str
+    destination: str
+    ok: bool
+    attempts: int
+    metrics: Optional[MigrationMetrics] = None
+    error_code: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.metrics.payload_bytes if self.metrics is not None else 0
+
+
+class MigrationExecutor:
+    """Runs placed migrations under the cluster's admission limits."""
+
+    def __init__(self, limits: Optional[AdmissionLimits] = None) -> None:
+        self.limits = limits or AdmissionLimits()
+        self._cluster = asyncio.Semaphore(self.limits.cluster_max)
+        self._per_host: Dict[str, asyncio.Semaphore] = {}
+        self._active = 0
+
+    def _host_slot(self, host_name: str) -> asyncio.Semaphore:
+        slot = self._per_host.get(host_name)
+        if slot is None:
+            slot = asyncio.Semaphore(self.limits.per_host_max)
+            self._per_host[host_name] = slot
+        return slot
+
+    async def run(
+        self,
+        source: MigrationSource,
+        destination: str,
+        host: str,
+        port: int,
+        dirty_feed: Optional[DirtyFeed] = None,
+    ) -> MigrationOutcome:
+        """Execute one migration; never raises for a failed migration.
+
+        ``destination`` is the placement-level host name (admission
+        key); ``host``/``port`` is its socket address.
+        """
+        vm_id = source.state.vm_id
+        async with self._cluster, self._host_slot(destination):
+            registry = _metrics()
+            self._active += 1
+            registry.gauge("orchestrator.migrations.active").set(self._active)
+            try:
+                with _span(
+                    "orchestrator.migrate",
+                    vm=vm_id,
+                    destination=destination,
+                ) as migrate_span:
+                    outcome = await self._run_with_retry(
+                        source, destination, host, port, dirty_feed
+                    )
+                    migrate_span.set(
+                        ok=outcome.ok,
+                        attempts=outcome.attempts,
+                        payload_bytes=outcome.payload_bytes,
+                    )
+            finally:
+                self._active -= 1
+                registry.gauge("orchestrator.migrations.active").set(self._active)
+        registry.counter(
+            "orchestrator.migrations.completed"
+            if outcome.ok
+            else "orchestrator.migrations.failed"
+        ).add(1)
+        return outcome
+
+    async def _run_with_retry(
+        self,
+        source: MigrationSource,
+        destination: str,
+        host: str,
+        port: int,
+        dirty_feed: Optional[DirtyFeed],
+    ) -> MigrationOutcome:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                metrics = await source.migrate(host, port, dirty_feed=dirty_feed)
+                return MigrationOutcome(
+                    vm_id=source.state.vm_id,
+                    destination=destination,
+                    ok=True,
+                    attempts=attempts,
+                    metrics=metrics,
+                )
+            except MigrationError as exc:
+                retryable = exc.code == "transport"
+                if retryable and attempts < self.limits.max_attempts:
+                    _metrics().counter("orchestrator.migrations.retried").add(1)
+                    log.warning(
+                        "migration attempt failed; retrying",
+                        vm=source.state.vm_id,
+                        destination=destination,
+                        attempt=attempts,
+                        cause=exc.detail,
+                    )
+                    await asyncio.sleep(self.limits.retry_backoff_s * attempts)
+                    continue
+                log.error(
+                    "migration failed",
+                    vm=source.state.vm_id,
+                    destination=destination,
+                    attempts=attempts,
+                    code=exc.code,
+                    cause=exc.detail,
+                )
+                return MigrationOutcome(
+                    vm_id=source.state.vm_id,
+                    destination=destination,
+                    ok=False,
+                    attempts=attempts,
+                    metrics=exc.metrics,
+                    error_code=exc.code,
+                    error=exc.detail,
+                )

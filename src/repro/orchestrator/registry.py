@@ -1,0 +1,179 @@
+"""Registry/heartbeat service: who is alive and what do they hold.
+
+The controller registers each daemon's address once and then *polls*:
+a heartbeat opens a short-lived connection, sends a HEARTBEAT frame on
+the ordinary migration port, and reads back one INVENTORY frame (the
+daemon's capacity + checkpoint digest summary).  Pull-based liveness
+keeps the daemon passive — it answers probes exactly like it answers
+HELLOs — and makes restart recovery automatic: a daemon that comes
+back with a durable ``state_dir`` rebuilds its checkpoints from the
+repository, so the next successful heartbeat repopulates the
+controller's view without any re-registration protocol.
+
+A host that misses a heartbeat is marked dead but stays registered;
+polling continues and a later success revives it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry as _metrics
+from repro.obs.trace import span as _span
+from repro.orchestrator.inventory import (
+    DEFAULT_SKETCH_K,
+    ClusterView,
+    HostInventory,
+)
+from repro.runtime.frames import FrameCodec, FrameError, TYPE_INVENTORY, expect_frame
+from repro.runtime.shaping import open_shaped_connection
+
+log = get_logger(__name__)
+
+_TRANSPORT_ERRORS = (ConnectionError, TimeoutError, OSError, EOFError)
+
+
+@dataclass
+class HostRecord:
+    """One registered daemon and the freshest facts about it."""
+
+    name: str
+    host: str
+    port: int
+    alive: bool = False
+    last_seen: float = 0.0
+    consecutive_failures: int = 0
+    inventory: Optional[HostInventory] = None
+
+
+class ClusterRegistry:
+    """Tracks daemon liveness and checkpoint inventories by polling.
+
+    Args:
+        controller_id: Identity sent in heartbeat frames (shows up in
+            daemon logs/metrics when debugging multi-controller runs).
+        heartbeat_timeout_s: Per-probe I/O budget; a silent daemon is
+            declared dead after this long, never hung on.
+        sketch_k: Bottom-k sketch size daemons are asked to report.
+    """
+
+    def __init__(
+        self,
+        controller_id: str = "controller",
+        heartbeat_timeout_s: float = 5.0,
+        sketch_k: int = DEFAULT_SKETCH_K,
+    ) -> None:
+        self.controller_id = controller_id
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.sketch_k = sketch_k
+        self._records: Dict[str, HostRecord] = {}
+        self._seq = 0
+
+    # --- membership -----------------------------------------------------
+
+    def register(self, name: str, host: str, port: int) -> HostRecord:
+        """Add (or re-address) a daemon; liveness starts unknown."""
+        record = HostRecord(name=name, host=host, port=port)
+        self._records[name] = record
+        return record
+
+    def deregister(self, name: str) -> None:
+        """Forget ``name`` entirely (decommissioned host)."""
+        self._records.pop(name, None)
+
+    def record(self, name: str) -> HostRecord:
+        """The registration record for ``name``; KeyError if unknown."""
+        try:
+            return self._records[name]
+        except KeyError:
+            raise KeyError(f"unregistered host {name!r}") from None
+
+    def hosts(self) -> List[str]:
+        """All registered host names, sorted."""
+        return sorted(self._records)
+
+    def address_of(self, name: str) -> tuple:
+        """The ``(host, port)`` migrations to ``name`` should dial."""
+        record = self.record(name)
+        return record.host, record.port
+
+    # --- polling --------------------------------------------------------
+
+    async def poll(self, name: str) -> HostRecord:
+        """Heartbeat one daemon; updates and returns its record."""
+        record = self.record(name)
+        self._seq += 1
+        with _span("orchestrator.heartbeat", host=name) as hb_span:
+            try:
+                inventory = await self._probe(record)
+            except (FrameError, *_TRANSPORT_ERRORS) as exc:
+                record.alive = False
+                record.consecutive_failures += 1
+                hb_span.set(alive=False, cause=type(exc).__name__)
+                _metrics().counter("orchestrator.heartbeats.failed").add(1)
+                log.warning(
+                    "heartbeat failed",
+                    host=name,
+                    failures=record.consecutive_failures,
+                    cause=str(exc),
+                )
+                return record
+            record.alive = True
+            record.consecutive_failures = 0
+            record.last_seen = time.time()
+            record.inventory = inventory
+            hb_span.set(
+                alive=True,
+                checkpoints=len(inventory.checkpoints),
+                active_sessions=inventory.active_sessions,
+            )
+            _metrics().counter("orchestrator.heartbeats.ok").add(1)
+            return record
+
+    async def _probe(self, record: HostRecord) -> HostInventory:
+        codec = FrameCodec()
+        stream = await open_shaped_connection(
+            record.host,
+            record.port,
+            link=None,
+            time_scale=0.0,
+            connect_timeout_s=self.heartbeat_timeout_s,
+        )
+        try:
+            await stream.send(
+                codec.encode_heartbeat(
+                    {
+                        "controller": self.controller_id,
+                        "seq": self._seq,
+                        "sketch_k": self.sketch_k,
+                    }
+                )
+            )
+            recv = stream.recv_with_timeout(self.heartbeat_timeout_s)
+            frame = await expect_frame(codec, recv, TYPE_INVENTORY)
+            return HostInventory.from_report(frame.body)
+        finally:
+            await stream.close()
+
+    async def poll_all(self) -> ClusterView:
+        """Heartbeat every registered daemon; returns the live view."""
+        for name in self.hosts():
+            await self.poll(name)
+        view = self.view()
+        _metrics().gauge("orchestrator.hosts.alive").set(len(view.inventories))
+        return view
+
+    # --- the merged picture ---------------------------------------------
+
+    def view(self) -> ClusterView:
+        """The cluster as of the last polls: live hosts' inventories."""
+        return ClusterView(
+            inventories={
+                name: record.inventory
+                for name, record in self._records.items()
+                if record.alive and record.inventory is not None
+            }
+        )

@@ -15,7 +15,11 @@ from repro.runtime.crossval import (
     idle_vm_scenario,
     run_cross_validation,
 )
-from repro.runtime.daemon import CheckpointDaemon, HostedCheckpoint
+from repro.runtime.daemon import (
+    CheckpointDaemon,
+    CheckpointInfo,
+    HostedCheckpoint,
+)
 from repro.runtime.frames import Frame, FrameCodec, FrameError
 from repro.runtime.metrics import MigrationMetrics, RoundMetrics
 from repro.runtime.planner import FirstRoundPlan, plan_first_round
@@ -30,6 +34,7 @@ from repro.runtime.source import (
 
 __all__ = [
     "CheckpointDaemon",
+    "CheckpointInfo",
     "CrossValidation",
     "FirstRoundPlan",
     "Frame",

@@ -55,6 +55,7 @@ from repro.runtime.frames import (
     FrameCodec,
     FrameError,
     TYPE_COMPLETE,
+    TYPE_HEARTBEAT,
     TYPE_HELLO,
     TYPE_PAGE_CHECKSUM,
     TYPE_PAGE_FULL,
@@ -94,6 +95,7 @@ class HostedCheckpoint:
     vm_id: str
     slot_digests: List[bytes]
     timestamp: float = field(default=0.0, compare=False)
+    last_used: float = field(default=0.0, compare=False)
 
     @property
     def num_pages(self) -> int:
@@ -102,6 +104,41 @@ class HostedCheckpoint:
     def announce_digests(self) -> List[bytes]:
         """Sorted distinct checksums — the §3.2 bulk announce body."""
         return sorted(set(self.slot_digests))
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """One hosted checkpoint as the cluster inventory sees it.
+
+    Produced by :meth:`CheckpointDaemon.hosted_checkpoints`, which
+    merges the live in-memory checkpoint map with the durable
+    repository's manifests, so a checkpoint that was recovered from disk
+    (or committed there by another handle on the same repository) but
+    never faulted back into memory is still visible to the control
+    plane's inventory report.
+
+    Attributes:
+        vm_id: The checkpointed VM.
+        pages: Slots in the checkpoint image.
+        unique_pages: Distinct page contents (post-dedup).
+        stored_bytes: Bytes the distinct contents occupy (durable
+            segment bytes when the repository holds them, resident page
+            bytes otherwise).
+        timestamp: When the checkpoint was taken.
+        last_used: Last time the checkpoint served a migration (adopt,
+            announce, or session preload); equals ``timestamp`` until
+            first use.
+        resident: Whether the daemon holds the checkpoint in its live
+            map (False for durable-only entries).
+    """
+
+    vm_id: str
+    pages: int
+    unique_pages: int
+    stored_bytes: int
+    timestamp: float
+    last_used: float
+    resident: bool
 
 
 class _SinkSession:
@@ -274,10 +311,16 @@ class _SinkSession:
 
 @dataclass
 class _FaultPlan:
-    """Test hook: abort the connection after N applied messages."""
+    """Test hook: abort the connection at a chosen protocol point.
+
+    ``mid_result`` aborts while the RESULT frame is on the wire (the
+    session is already completed and persisted); otherwise the abort
+    happens after ``after_messages`` total applied data frames.
+    """
 
     after_messages: int
     times: int
+    mid_result: bool = False
 
 
 class CheckpointDaemon:
@@ -299,6 +342,9 @@ class CheckpointDaemon:
             restart keeps every committed checkpoint.
         repository: Pre-built repository to use instead of
             ``state_dir`` (tests share one across simulated restarts).
+        max_concurrent_migrations: Advertised migration capacity for
+            the cluster control plane's admission control; the daemon
+            itself accepts any number of concurrent sessions.
     """
 
     def __init__(
@@ -310,11 +356,13 @@ class CheckpointDaemon:
         pagestore: Optional[PageStore] = None,
         state_dir: Optional[Path | str] = None,
         repository: Optional[CheckpointRepository] = None,
+        max_concurrent_migrations: int = 2,
     ) -> None:
         self.name = name
         self.link = link
         self.time_scale = time_scale
         self.io_timeout_s = io_timeout_s
+        self.max_concurrent_migrations = max_concurrent_migrations
         self.pagestore = pagestore or PageStore()
         if repository is None and state_dir is not None:
             repository = CheckpointRepository(state_dir)
@@ -431,7 +479,10 @@ class CheckpointDaemon:
         self.store.retain_many(slot_digests)
         previous = self.checkpoints.get(vm_id)
         hosted = HostedCheckpoint(
-            vm_id=vm_id, slot_digests=list(slot_digests), timestamp=timestamp
+            vm_id=vm_id,
+            slot_digests=list(slot_digests),
+            timestamp=timestamp,
+            last_used=timestamp,
         )
         self.checkpoints[vm_id] = hosted
         if self.repository is not None:
@@ -471,24 +522,134 @@ class CheckpointDaemon:
             return None
         return frozenset(hosted.slot_digests)
 
+    def hosted_checkpoints(self) -> List[CheckpointInfo]:
+        """Per-VM inventory: the live map merged with the repository.
+
+        The union matters: a checkpoint committed to the shared
+        repository by another daemon handle (or left there by a prior
+        incarnation) that is not faulted into this daemon's live map
+        would otherwise be invisible to the control plane even though a
+        migration could use it after a restart.  Sorted by vm_id.
+        """
+        page_size = self.pagestore.page_size
+        durable: Dict[str, dict] = (
+            self.repository.checkpoint_stats()
+            if self.repository is not None
+            else {}
+        )
+        infos: List[CheckpointInfo] = []
+        for vm_id, hosted in self.checkpoints.items():
+            unique = len(set(hosted.slot_digests))
+            stats = durable.get(vm_id)
+            stored = (
+                stats["stored_bytes"] if stats is not None else unique * page_size
+            )
+            infos.append(
+                CheckpointInfo(
+                    vm_id=vm_id,
+                    pages=hosted.num_pages,
+                    unique_pages=unique,
+                    stored_bytes=stored,
+                    timestamp=hosted.timestamp,
+                    last_used=hosted.last_used or hosted.timestamp,
+                    resident=True,
+                )
+            )
+        for vm_id, stats in durable.items():
+            if vm_id in self.checkpoints:
+                continue
+            infos.append(
+                CheckpointInfo(
+                    vm_id=vm_id,
+                    pages=stats["pages"],
+                    unique_pages=stats["unique_pages"],
+                    stored_bytes=stats["stored_bytes"],
+                    timestamp=stats["timestamp"],
+                    last_used=stats["timestamp"],
+                    resident=False,
+                )
+            )
+        return sorted(infos, key=lambda info: info.vm_id)
+
+    def inventory_report(self, sketch_k: Optional[int] = None) -> dict:
+        """JSON body answering a HEARTBEAT: capacity + checkpoint digest
+        summaries (per-VM page counts and a bottom-k similarity sketch).
+        """
+        # Local import: repro.orchestrator imports the runtime at module
+        # load; only the sketch math flows the other way.
+        from repro.orchestrator.inventory import DEFAULT_SKETCH_K, digest_sketch
+
+        k = sketch_k or DEFAULT_SKETCH_K
+        checkpoints = []
+        for info in self.hosted_checkpoints():
+            hosted = self.checkpoints.get(info.vm_id)
+            if hosted is not None:
+                digests = hosted.slot_digests
+            else:
+                manifest = self.repository.load_manifest(info.vm_id)
+                digests = manifest.slot_digests if manifest is not None else []
+            checkpoints.append(
+                {
+                    "vm_id": info.vm_id,
+                    "pages": info.pages,
+                    "unique_pages": info.unique_pages,
+                    "stored_bytes": info.stored_bytes,
+                    "timestamp": info.timestamp,
+                    "last_used": info.last_used,
+                    "resident": info.resident,
+                    "sketch": digest_sketch(digests, k=k),
+                }
+            )
+        return {
+            "host": self.name,
+            "port": self.port,
+            "active_sessions": sum(
+                1 for s in self._sessions.values() if not s.completed
+            ),
+            "max_concurrent_migrations": self.max_concurrent_migrations,
+            "sketch_k": k,
+            "checkpoints": checkpoints,
+        }
+
     # --- fault injection ------------------------------------------------
 
-    def inject_disconnect(self, after_messages: int, times: int = 1) -> None:
-        """Abort connections after ``after_messages`` total applied frames.
+    def inject_disconnect(
+        self,
+        after_messages: int = 0,
+        times: int = 1,
+        mid_result: bool = False,
+    ) -> None:
+        """Abort connections at a chosen protocol point (test hook).
 
-        Used by tests and the CLI demo to exercise retry/resume: the
-        abort happens ``times`` times, then the daemon behaves normally.
+        With ``mid_result=False`` the abort fires after
+        ``after_messages`` total applied data frames.  With
+        ``mid_result=True`` it instead fires while the RESULT frame is
+        being sent: the session has already been verified, adopted, and
+        persisted, but the source never sees the acknowledgement — the
+        nastiest spot for a disconnect, exercising the idempotent
+        RESULT-replay path on reconnect.  Either way the abort happens
+        ``times`` times, then the daemon behaves normally.  The hook is
+        deterministic: no randomness, so runs are seed-stable.
         """
-        self._fault = _FaultPlan(after_messages=after_messages, times=times)
+        self._fault = _FaultPlan(
+            after_messages=after_messages, times=times, mid_result=mid_result
+        )
 
     def _should_abort(self, session: _SinkSession) -> bool:
         fault = self._fault
-        if fault is None or fault.times <= 0:
+        if fault is None or fault.times <= 0 or fault.mid_result:
             return False
         if session.total_applied >= fault.after_messages:
             fault.times -= 1
             return True
         return False
+
+    def _should_abort_result(self) -> bool:
+        fault = self._fault
+        if fault is None or not fault.mid_result or fault.times <= 0:
+            return False
+        fault.times -= 1
+        return True
 
     # --- connection handling -------------------------------------------
 
@@ -551,6 +712,8 @@ class CheckpointDaemon:
             preload = self.checkpoints.get(hello["vm_id"])
             if preload is not None and preload.num_pages != num_pages:
                 preload = None
+            if preload is not None:
+                preload.last_used = time.time()
             if method.uses_dirty_tracking and preload is None:
                 raise SinkProtocolError(
                     "no-checkpoint",
@@ -604,6 +767,16 @@ class CheckpointDaemon:
         codec = FrameCodec()
         recv = stream.recv_with_timeout(self.io_timeout_s)
         hello = await codec.read_frame(recv)
+        if hello.type == TYPE_HEARTBEAT:
+            # Control-plane liveness probe: answer with the inventory
+            # report and close — no migration session is created.
+            get_registry().counter("daemon.heartbeats").add(1)
+            body = self.inventory_report(
+                sketch_k=int(hello.body.get("sketch_k", 0)) or None
+            )
+            body["seq"] = hello.body.get("seq")
+            await stream.send(codec.encode_inventory(body))
+            return
         if hello.type != TYPE_HELLO:
             raise SinkProtocolError("bad-hello", f"expected HELLO, got {hello.name}")
         session, codec = self._session_for(hello.body)
@@ -622,6 +795,7 @@ class CheckpointDaemon:
         codec: FrameCodec, hello: Frame,
     ) -> None:
         if session.completed:
+            get_registry().counter("daemon.result_replays").add(1)
             await stream.send(codec.encode_ready(session.round_no,
                                                  session.applied_in_round,
                                                  False, True))
@@ -641,6 +815,8 @@ class CheckpointDaemon:
         if announce_follows:
             with _span("daemon.announce", vm=session.vm_id) as announce_span:
                 hosted = self.checkpoints.get(session.vm_id)
+                if hosted is not None:
+                    hosted.last_used = time.time()
                 digests = hosted.announce_digests() if hosted is not None else []
                 await stream.send(codec.encode_announce(digests))
                 announce_span.set(digests=len(digests))
@@ -703,7 +879,15 @@ class CheckpointDaemon:
                 registry.counter("daemon.reused_from_store").add(
                     session.reused_from_store
                 )
-                await stream.send(codec.encode_result(result))
+                payload = codec.encode_result(result)
+                if self._should_abort_result():
+                    # Drop the link with the RESULT half-sent: the
+                    # session is committed, the source is left hanging.
+                    registry.counter("daemon.injected_aborts").add(1)
+                    await stream.send(payload[: max(1, len(payload) // 2)])
+                    stream.abort()
+                    return
+                await stream.send(payload)
                 return
             else:
                 raise SinkProtocolError(

@@ -27,6 +27,15 @@ All integers are big-endian.  Frame layouts::
     PAGE_PLAIN     0x13 | u64 page_no | page bytes
     ROUND          0x20 | u32 round_no | u64 message count
     COMPLETE       0x21 | u32 rounds | digest of per-slot digests
+    HEARTBEAT      0x30 | u32 len | JSON
+    INVENTORY      0x31 | u32 len | JSON
+
+The HEARTBEAT/INVENTORY pair is the cluster control plane's liveness
+probe (:mod:`repro.orchestrator`): a controller opens a connection,
+sends HEARTBEAT instead of HELLO, and the daemon answers with its
+inventory report (capacity plus a digest-summary of every hosted
+checkpoint) and closes.  Both are JSON control frames and are never
+mixed into a migration session.
 """
 
 from __future__ import annotations
@@ -49,6 +58,8 @@ TYPE_PAGE_REF = 0x12
 TYPE_PAGE_PLAIN = 0x13
 TYPE_ROUND = 0x20
 TYPE_COMPLETE = 0x21
+TYPE_HEARTBEAT = 0x30
+TYPE_INVENTORY = 0x31
 
 PAGE_FRAME_TYPES = frozenset(
     (TYPE_PAGE_FULL, TYPE_PAGE_CHECKSUM, TYPE_PAGE_REF, TYPE_PAGE_PLAIN)
@@ -66,6 +77,8 @@ FRAME_NAMES = {
     TYPE_PAGE_PLAIN: "plain",
     TYPE_ROUND: "round",
     TYPE_COMPLETE: "complete",
+    TYPE_HEARTBEAT: "heartbeat",
+    TYPE_INVENTORY: "inventory",
 }
 
 _MAX_JSON_BODY = 1 << 20
@@ -166,6 +179,14 @@ class FrameCodec:
         """A structured protocol-error frame (JSON body)."""
         return self._encode_json(TYPE_ERROR, body)
 
+    def encode_heartbeat(self, body: Dict[str, Any]) -> bytes:
+        """A controller liveness probe (JSON body: controller id, seq)."""
+        return self._encode_json(TYPE_HEARTBEAT, body)
+
+    def encode_inventory(self, body: Dict[str, Any]) -> bytes:
+        """A daemon inventory report answering a HEARTBEAT (JSON body)."""
+        return self._encode_json(TYPE_INVENTORY, body)
+
     @staticmethod
     def _encode_json(tag: int, body: Dict[str, Any]) -> bytes:
         encoded = json.dumps(body, separators=(",", ":")).encode("utf-8")
@@ -222,7 +243,8 @@ class FrameCodec:
             payload = await recv(self.page_size)
             return Frame(tag, page_no=page_no, payload=payload,
                          wire_bytes=self.wire.message_bytes("plain"))
-        if tag in (TYPE_HELLO, TYPE_RESULT, TYPE_ERROR):
+        if tag in (TYPE_HELLO, TYPE_RESULT, TYPE_ERROR, TYPE_HEARTBEAT,
+                   TYPE_INVENTORY):
             (length,) = struct.unpack(">I", await recv(4))
             if length > _MAX_JSON_BODY:
                 raise FrameError(f"JSON body of {length} bytes exceeds limit")

@@ -412,6 +412,37 @@ class CheckpointRepository:
                 continue
         return manifests
 
+    def checkpoint_stats(self) -> Dict[str, dict]:
+        """Per-VM durable summary feeding the daemon's inventory report.
+
+        Maps vm_id → ``{"pages", "unique_pages", "stored_bytes",
+        "timestamp"}`` where ``stored_bytes`` is the on-disk size of the
+        distinct segments the checkpoint references (a segment shared by
+        several checkpoints is billed to each — this is an inventory
+        summary, not an accounting of disk usage).  Segment sizes are
+        stat'd once per distinct digest.
+        """
+        stats: Dict[str, dict] = {}
+        sizes: Dict[bytes, int] = {}
+        for manifest in self.list_checkpoints():
+            stored = 0
+            for digest in manifest.unique_digests:
+                size = sizes.get(digest)
+                if size is None:
+                    try:
+                        size = self._segment_path(digest).stat().st_size
+                    except OSError:
+                        size = 0
+                    sizes[digest] = size
+                stored += size
+            stats[manifest.vm_id] = {
+                "pages": manifest.num_pages,
+                "unique_pages": len(manifest.unique_digests),
+                "stored_bytes": stored,
+                "timestamp": manifest.timestamp,
+            }
+        return stats
+
     # --- sessions -------------------------------------------------------
 
     def save_session(self, session_id: str, payload: dict) -> None:

@@ -1,0 +1,164 @@
+"""Executor semantics: admission control, retry, structured failure."""
+
+import asyncio
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import QEMU
+from repro.mem.pagestore import PageStore
+from repro.orchestrator.executor import AdmissionLimits, MigrationExecutor
+from repro.runtime import (
+    MigrationError,
+    MigrationSource,
+    RetryPolicy,
+    RuntimeConfig,
+    SourceState,
+)
+from repro.runtime.metrics import MigrationMetrics
+
+
+class FakeSource:
+    """Quacks like a MigrationSource; records concurrency and failures."""
+
+    def __init__(self, vm_id, tracker, failures=(), delay_s=0.02):
+        self.state = SimpleNamespace(vm_id=vm_id)
+        self.tracker = tracker
+        self.failures = list(failures)
+        self.delay_s = delay_s
+        self.calls = 0
+
+    async def migrate(self, host, port, dirty_feed=None):
+        self.calls += 1
+        self.tracker["running"] += 1
+        self.tracker["peak"] = max(self.tracker["peak"], self.tracker["running"])
+        try:
+            await asyncio.sleep(self.delay_s)
+            if self.failures:
+                raise MigrationError(self.failures.pop(0), "injected")
+            return MigrationMetrics(vm_id=self.state.vm_id, mode="fake", link="x")
+        finally:
+            self.tracker["running"] -= 1
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmissionControl:
+    def test_cluster_cap_bounds_concurrency(self):
+        limits = AdmissionLimits(cluster_max=2, per_host_max=2)
+        executor = MigrationExecutor(limits)
+        tracker = {"running": 0, "peak": 0}
+
+        async def main():
+            outcomes = await asyncio.gather(
+                *(
+                    executor.run(
+                        FakeSource(f"vm-{i}", tracker), f"host-{i}", "h", 0
+                    )
+                    for i in range(6)
+                )
+            )
+            return outcomes
+
+        outcomes = run(main())
+        assert all(o.ok for o in outcomes)
+        assert tracker["peak"] <= 2
+
+    def test_per_host_cap_bounds_one_destination(self):
+        limits = AdmissionLimits(cluster_max=8, per_host_max=1)
+        executor = MigrationExecutor(limits)
+        tracker = {"running": 0, "peak": 0}
+
+        async def main():
+            return await asyncio.gather(
+                *(
+                    executor.run(
+                        FakeSource(f"vm-{i}", tracker), "same-host", "h", 0
+                    )
+                    for i in range(4)
+                )
+            )
+
+        outcomes = run(main())
+        assert all(o.ok for o in outcomes)
+        assert tracker["peak"] == 1
+
+    def test_rejects_bad_limits(self):
+        with pytest.raises(ValueError):
+            AdmissionLimits(cluster_max=0)
+        with pytest.raises(ValueError):
+            AdmissionLimits(per_host_max=0)
+        with pytest.raises(ValueError):
+            AdmissionLimits(max_attempts=0)
+
+
+class TestRetry:
+    def test_transport_failure_retried_and_resumed(self):
+        executor = MigrationExecutor(
+            AdmissionLimits(max_attempts=3, retry_backoff_s=0.001)
+        )
+        tracker = {"running": 0, "peak": 0}
+        source = FakeSource("vm", tracker, failures=["transport"])
+        outcome = run(executor.run(source, "host", "h", 0))
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert source.calls == 2
+
+    def test_retries_are_bounded(self):
+        executor = MigrationExecutor(
+            AdmissionLimits(max_attempts=2, retry_backoff_s=0.001)
+        )
+        tracker = {"running": 0, "peak": 0}
+        source = FakeSource("vm", tracker, failures=["transport"] * 5)
+        outcome = run(executor.run(source, "host", "h", 0))
+        assert not outcome.ok
+        assert outcome.attempts == 2
+        assert outcome.error_code == "transport"
+
+    def test_protocol_failures_never_retried(self):
+        executor = MigrationExecutor(
+            AdmissionLimits(max_attempts=3, retry_backoff_s=0.001)
+        )
+        tracker = {"running": 0, "peak": 0}
+        source = FakeSource("vm", tracker, failures=["verification"])
+        outcome = run(executor.run(source, "host", "h", 0))
+        assert not outcome.ok
+        assert outcome.attempts == 1
+        assert outcome.error_code == "verification"
+        assert source.calls == 1
+
+
+class TestStructuredFailure:
+    def test_connection_refused_reports_not_raises(self):
+        async def main():
+            # Bind-then-close: a port with nothing listening.
+            server = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            server.close()
+            await server.wait_closed()
+            rng = np.random.default_rng(2)
+            source = MigrationSource(
+                SourceState(
+                    "vm",
+                    rng.integers(1, 2**62, size=64, dtype=np.uint64),
+                    PageStore(),
+                ),
+                QEMU,
+                config=RuntimeConfig(
+                    retry=RetryPolicy(max_attempts=2, base_backoff_s=0.01)
+                ),
+            )
+            executor = MigrationExecutor(
+                AdmissionLimits(max_attempts=2, retry_backoff_s=0.001)
+            )
+            return await executor.run(source, "dead-host", host, port)
+
+        outcome = run(main())
+        assert not outcome.ok
+        assert outcome.error_code == "transport"
+        assert outcome.attempts == 2
+        assert outcome.metrics is not None
+        assert outcome.metrics.outcome == "failed"
