@@ -110,12 +110,95 @@ def _observability_snapshot() -> dict:
         registry.reset()
 
 
+def _telemetry_snapshot() -> dict:
+    """A telemetry-enabled live ping-pong replay: the aggregator polls
+    real daemons over the wire after every migration and the Prometheus
+    endpoint is served and scraped.  Asserts the aggregator's share of
+    wall time stays within the 5% observability overhead contract.
+    """
+    import asyncio
+
+    from repro.cluster.schedule import ping_pong_schedule
+    from repro.obs import get_registry
+    from repro.obs.telemetry import set_active_aggregator
+    from repro.orchestrator import replay_vdi_live
+    from repro.runtime import RetryPolicy, RuntimeConfig
+    from repro.traces.generate import generate_trace
+    from repro.traces.presets import MachineSpec
+    from repro.traces.workload import ActivityPattern, WorkloadParams
+
+    spec = MachineSpec(
+        name="Tiny",
+        os="Linux",
+        trace_id="bench-telemetry",
+        ram_bytes=2048 * 4096,
+        trace_days=1,
+        params=WorkloadParams(
+            num_pages=2048,
+            stable_fraction=0.2,
+            hot_fraction=0.3,
+            hot_write_share=0.8,
+            base_update_fraction=0.3,
+            duplicate_fraction=0.08,
+            zero_fraction=0.03,
+            relocate_fraction=0.01,
+            recall_fraction=0.2,
+            activity=ActivityPattern.DIURNAL,
+            activity_floor=0.05,
+        ),
+        seed=99,
+    )
+    trace = generate_trace(spec, num_epochs=48)
+    config = RuntimeConfig(
+        io_timeout_s=5.0,
+        connect_timeout_s=5.0,
+        retry=RetryPolicy(max_attempts=3, base_backoff_s=0.01, max_backoff_s=0.05),
+        time_scale=0.0,
+    )
+    registry = get_registry()
+    registry.reset()
+    try:
+        started = time.perf_counter()
+        result = asyncio.run(
+            replay_vdi_live(
+                trace,
+                schedule=ping_pong_schedule(4.0, 6, host_a="a", host_b="b"),
+                config=config,
+                metrics_port=0,
+            )
+        )
+        wall_s = time.perf_counter() - started
+    finally:
+        set_active_aggregator(None)
+        registry.reset()
+    telemetry = result.telemetry
+    assert telemetry["polls"] > 0
+    assert telemetry["overhead_ratio"] <= 0.05, (
+        f"aggregator overhead {telemetry['overhead_ratio']:.2%} exceeds "
+        f"the 5% contract: {telemetry}"
+    )
+    return {
+        "migrations": result.num_migrations,
+        "wall_s": round(wall_s, 4),
+        "polls": telemetry["polls"],
+        "poll_failures": telemetry["poll_failures"],
+        "restarts": telemetry["restarts"],
+        "seq_gaps": telemetry["seq_gaps"],
+        "poll_seconds": round(telemetry["poll_seconds"], 4),
+        "overhead_ratio": round(telemetry["overhead_ratio"], 4),
+        "recycle_ratio": round(telemetry["recycle_ratio"], 4),
+        "prometheus_served": result.metrics_port is not None
+        and result.metrics_port > 0,
+    }
+
+
 def pytest_sessionfinish(session, exitstatus) -> None:
     """Write the observability perf snapshot after a benchmark session."""
     if getattr(session.config.option, "collectonly", False):
         return
     try:
         snapshot = _observability_snapshot()
+        snapshot["telemetry"] = _telemetry_snapshot()
     except Exception as exc:  # never fail the session over the snapshot
         snapshot = {"error": f"{type(exc).__name__}: {exc}"}
     SNAPSHOT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")

@@ -16,6 +16,9 @@ Usage::
     vecycle runtime --size-mib 16 --strategy all [--inject-disconnect N]
     vecycle postcopy --size-mib 1024 --link wan-cloudnet
     vecycle orchestrate [--hosts 3] [--migrations 6] [--policy best-checkpoint]
+    vecycle orchestrate --metrics-port 9100 --metrics-linger 30
+    vecycle top --url http://127.0.0.1:9100 [--interval 2]
+    vecycle top --connect 127.0.0.1:5001,127.0.0.1:5002
     vecycle consolidate [--vms 8] [--days 3]
     vecycle gang [--vms 8] [--shared 0.5]
     vecycle obs [--summary] [--from trace.jsonl]
@@ -63,6 +66,7 @@ from repro.obs import (
     export_trace,
     get_registry,
     get_tracer,
+    install_flight_recorder,
     read_jsonl,
     summary_tree,
 )
@@ -182,8 +186,60 @@ def _cmd_orchestrate(args: argparse.Namespace) -> str:
         num_epochs=args.epochs,
         state_root=Path(args.state_dir) if args.state_dir else None,
         seed=args.seed,
+        metrics_port=args.metrics_port,
+        metrics_linger_s=args.metrics_linger,
     )
     return live_cluster.format_table(result)
+
+
+def _cmd_top(args: argparse.Namespace) -> str:
+    """Terminal dashboard over a /metrics.json endpoint or raw daemons."""
+    import asyncio
+    import time
+
+    from repro.obs.top import CLEAR, fetch_view, render_dashboard
+
+    if bool(args.url) == bool(args.connect):
+        raise SystemExit("vecycle top: pass exactly one of --url / --connect")
+
+    if args.connect:
+        from repro.orchestrator import ClusterRegistry, TelemetryAggregator
+
+        registry = ClusterRegistry(controller_id="vecycle-top")
+        for address in args.connect.split(","):
+            address = address.strip()
+            host, _, port = address.rpartition(":")
+            if not host or not port.isdigit():
+                raise SystemExit(
+                    f"vecycle top: bad --connect address {address!r} "
+                    "(want host:port)"
+                )
+            registry.register(address, host, int(port))
+        aggregator = TelemetryAggregator(registry)
+
+        def view():
+            asyncio.run(aggregator.poll_all())
+            return aggregator.dashboard_view()
+    else:
+
+        def view():
+            return fetch_view(args.url)
+
+    iteration = 0
+    frame = ""
+    while True:
+        frame = render_dashboard(view())
+        iteration += 1
+        if args.iterations and iteration >= args.iterations:
+            break
+        # Live mode: clear, draw, sleep, repeat; the final frame is
+        # returned so main() prints it like any other subcommand.
+        print(CLEAR + frame, flush=True)
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            break
+    return frame
 
 
 def _cmd_consolidate(args: argparse.Namespace) -> str:
@@ -353,7 +409,8 @@ def _cmd_runtime(args: argparse.Namespace) -> str:
                 seed=args.seed,
             )
             result = await cross_validate(
-                scenario, config=config, state_dir=args.state_dir
+                scenario, config=config, state_dir=args.state_dir,
+                metrics_port=args.metrics_port,
             )
             if args.inject_disconnect:
                 # Re-run with a mid-transfer disconnect so the retry path
@@ -599,6 +656,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="durable state directory for the destination "
                     "daemon; checkpoints committed there survive restarts "
                     "(inspect with 'vecycle repo ls')")
+    pr.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                    help="serve the destination daemon's Prometheus "
+                    "/metrics page on this port (0 = ephemeral)")
     pr.add_argument("--seed", type=int, default=7)
     pr.set_defaults(func=_cmd_runtime)
 
@@ -640,8 +700,34 @@ def build_parser() -> argparse.ArgumentParser:
     porc.add_argument("--state-dir", default=None, metavar="DIR",
                       help="root directory for per-daemon durable state "
                       "(one subdirectory per host)")
+    porc.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                      help="serve the controller's merged Prometheus "
+                      "/metrics (+ /metrics.json for 'vecycle top') on "
+                      "this port (0 = ephemeral)")
+    porc.add_argument("--metrics-linger", type=float, default=0.0,
+                      metavar="SECONDS",
+                      help="keep the metrics endpoint up this long after "
+                      "the last migration (for external scrapers)")
     porc.add_argument("--seed", type=int, default=99)
     porc.set_defaults(func=_cmd_orchestrate)
+
+    ptop = add_parser(
+        "top",
+        help="terminal dashboard: per-host recycle ratio, bytes saved "
+        "vs transferred, active migrations, downtime percentiles",
+    )
+    ptop.add_argument("--url", default=None, metavar="URL",
+                      help="a --metrics-port endpoint to watch "
+                      "(e.g. http://127.0.0.1:9100)")
+    ptop.add_argument("--connect", default=None, metavar="HOST:PORT[,..]",
+                      help="poll daemons directly over TELEMETRY frames "
+                      "instead of scraping a controller")
+    ptop.add_argument("--interval", type=float, default=2.0,
+                      help="seconds between refreshes")
+    ptop.add_argument("--iterations", type=int, default=0, metavar="N",
+                      help="stop after N frames (0 = until interrupted; "
+                      "use 1 for a single scriptable snapshot)")
+    ptop.set_defaults(func=_cmd_top)
 
     pc = add_parser("consolidate", help="fleet consolidation simulation")
     pc.add_argument("--vms", type=int, default=8)
@@ -707,6 +793,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     configure_logging(
         getattr(args, "verbose", 0) - getattr(args, "quiet", 0)
     )
+    # Crash forensics for every subcommand: unhandled exceptions and
+    # SIGUSR2 dump the flight-recorder rings (see docs/observability.md).
+    install_flight_recorder()
     trace_out = getattr(args, "trace_out", None)
     if trace_out or getattr(args, "trace_summary", False):
         enable_tracing()

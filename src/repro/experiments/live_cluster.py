@@ -76,6 +76,8 @@ def run(
     num_epochs: Optional[int] = None,
     state_root: Optional[Path] = None,
     seed: int = 99,
+    metrics_port: Optional[int] = None,
+    metrics_linger_s: float = 0.0,
 ) -> LiveVdiCrossValidation:
     """Boot ``hosts`` daemons and orchestrate a live schedule.
 
@@ -83,6 +85,11 @@ def run(
     with the remaining daemons acting as decoys the placement policy
     must learn to avoid.  With ``vdi=True`` the Figure-8 weekday
     schedule (9 am out, 5 pm back) is replayed instead.
+
+    ``metrics_port`` (0 for an ephemeral port) serves the controller's
+    merged Prometheus page for the duration of the run plus
+    ``metrics_linger_s`` seconds, so external scrapers and ``vecycle
+    top`` can watch it live.
     """
     if hosts < 2:
         raise ValueError(f"need at least 2 hosts, got {hosts}")
@@ -109,6 +116,8 @@ def run(
         ),
         extra_hosts=extra,
         state_root=state_root,
+        metrics_port=metrics_port,
+        metrics_linger_s=metrics_linger_s,
     )
 
 
@@ -148,4 +157,24 @@ def format_table(result: LiveVdiCrossValidation) -> str:
             f"  {score_metric:<36s} n={histogram.total} "
             f"mean={histogram.mean:.3f}"
         )
+    if result.telemetry:
+        telemetry = result.telemetry
+        lines.append("")
+        lines.append("telemetry plane:")
+        lines.append(
+            f"  polls {telemetry.get('polls', 0)}  "
+            f"failures {telemetry.get('poll_failures', 0)}  "
+            f"restarts {telemetry.get('restarts', 0)}  "
+            f"seq gaps {telemetry.get('seq_gaps', 0)}"
+        )
+        lines.append(
+            f"  recycle ratio {telemetry.get('recycle_ratio', 0.0) * 100:.1f}%  "
+            f"aggregator overhead "
+            f"{telemetry.get('overhead_ratio', 0.0) * 100:.2f}% of wall time"
+        )
+        if result.metrics_port is not None:
+            lines.append(
+                f"  prometheus served on 127.0.0.1:{result.metrics_port} "
+                "(/metrics, /metrics.json)"
+            )
     return "\n".join(lines)

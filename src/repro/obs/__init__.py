@@ -28,6 +28,14 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.flight import (
+    FlightRecorder,
+    default_recorder,
+    dump_all,
+    install as install_flight_recorder,
+    read_dump,
+    register_flush,
+)
 from repro.obs.log import KeyValueLogger, configure as configure_logging, get_logger
 from repro.obs.metrics import (
     Counter,
@@ -37,6 +45,14 @@ from repro.obs.metrics import (
     PAGE_BYTES_BUCKETS,
     ROUND_SECONDS_BUCKETS,
     get_registry,
+    quantile_from_state,
+)
+from repro.obs.prometheus import MetricsServer, render_sections
+from repro.obs.telemetry import (
+    MetricsSnapshot,
+    TelemetrySource,
+    get_active_aggregator,
+    set_active_aggregator,
 )
 from repro.obs.trace import (
     ENV_TOGGLE,
@@ -59,28 +75,41 @@ configure_from_env()
 __all__ = [
     "Counter",
     "ENV_TOGGLE",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "KeyValueLogger",
     "MetricsRegistry",
+    "MetricsServer",
+    "MetricsSnapshot",
     "NOOP_SPAN",
     "PAGE_BYTES_BUCKETS",
     "ROUND_SECONDS_BUCKETS",
     "Span",
     "SpanRecord",
+    "TelemetrySource",
     "Tracer",
     "configure_from_env",
     "configure_logging",
+    "default_recorder",
     "disable",
+    "dump_all",
     "enable",
     "event",
     "export_trace",
+    "get_active_aggregator",
     "get_logger",
     "get_registry",
     "get_tracer",
+    "install_flight_recorder",
     "is_enabled",
+    "quantile_from_state",
+    "read_dump",
     "read_jsonl",
+    "register_flush",
+    "render_sections",
     "reset",
+    "set_active_aggregator",
     "span",
     "summary_tree",
     "to_chrome_trace",

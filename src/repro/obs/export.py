@@ -69,7 +69,9 @@ def read_jsonl(path: str) -> List[SpanRecord]:
             if not line:
                 continue
             data = json.loads(line)
-            if data.get("kind") == "metrics":
+            if "id" not in data:
+                # Non-span lines: the trailing metrics snapshot and any
+                # telemetry time-series entries.
                 continue
             records.append(SpanRecord.from_dict(data))
     return records
@@ -234,5 +236,42 @@ def export_trace(
         write_chrome_trace(path, records, registry)
     elif fmt == "jsonl":
         write_jsonl(path, records, registry)
+        lines = _telemetry_lines()
+        if lines:
+            with open(path, "a", encoding="utf-8") as handle:
+                for line in lines:
+                    handle.write(line + "\n")
     else:
         raise ValueError(f"unknown trace format {fmt!r} (want chrome|jsonl)")
+
+
+def _telemetry_lines() -> List[str]:
+    """Cluster time-series lines from the run's active aggregator.
+
+    Runs that stood up a :class:`~repro.orchestrator.telemetry.
+    TelemetryAggregator` register it via
+    :func:`~repro.obs.telemetry.set_active_aggregator`; their
+    ``--trace-out`` JSONL then ends with one ``{"kind": "telemetry"}``
+    line per poll sample plus a ``{"kind": "telemetry-cluster"}``
+    rollup.  Runs without an aggregator are unchanged.
+    """
+    from repro.obs.telemetry import get_active_aggregator
+
+    aggregator = get_active_aggregator()
+    if aggregator is None:
+        return []
+    lines = [
+        json.dumps({"kind": "telemetry", **sample}, sort_keys=True)
+        for sample in aggregator.export_series()
+    ]
+    lines.append(
+        json.dumps(
+            {
+                "kind": "telemetry-cluster",
+                "instruments": aggregator.cluster_instruments(),
+                "per_vm": aggregator.per_vm(),
+            },
+            sort_keys=True,
+        )
+    )
+    return lines

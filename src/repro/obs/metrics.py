@@ -146,6 +146,21 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by interpolating within buckets.
+
+        Fixed buckets only know how many samples landed between two
+        edges, so the estimate assumes samples spread uniformly inside
+        each bucket (standard Prometheus ``histogram_quantile``
+        semantics).  The observed ``min``/``max`` tighten the open-ended
+        first and overflow buckets and clamp the result, so ``q=0``
+        returns the true minimum and ``q=1`` the true maximum.  An empty
+        histogram returns ``0.0``.
+        """
+        return estimate_quantile(
+            self.boundaries, self.counts, self.total, self.min, self.max, q
+        )
+
     def snapshot(self) -> Dict[str, Any]:
         """JSON-compatible state for export."""
         return {
@@ -158,6 +173,61 @@ class Histogram:
             "min": self.min if self.total else None,
             "max": self.max if self.total else None,
         }
+
+
+def estimate_quantile(
+    boundaries: Sequence[float],
+    counts: Sequence[int],
+    total: int,
+    minimum: float,
+    maximum: float,
+    q: float,
+) -> float:
+    """Linear-interpolation quantile over fixed-bucket counts.
+
+    Shared by :meth:`Histogram.quantile` (live instrument) and
+    :func:`quantile_from_state` (serialized snapshot), so a dashboard
+    reading wire snapshots computes the exact same percentile the
+    producing process would.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q} outside [0, 1]")
+    if total <= 0:
+        return 0.0
+    target = q * total
+    cumulative = 0
+    lowest_seen = False
+    for index, count in enumerate(counts):
+        if count == 0:
+            continue
+        if index == 0 or not lowest_seen:
+            lower = minimum
+        else:
+            lower = boundaries[index - 1]
+        lowest_seen = True
+        upper = boundaries[index] if index < len(boundaries) else maximum
+        if cumulative + count >= target:
+            fraction = (target - cumulative) / count
+            value = lower + (upper - lower) * fraction
+            return min(max(value, minimum), maximum)
+        cumulative += count
+    return maximum
+
+
+def quantile_from_state(state: Dict[str, Any], q: float) -> float:
+    """Quantile estimate from a histogram :meth:`~Histogram.snapshot`."""
+    if state.get("type") != "histogram" or not state.get("total"):
+        return 0.0
+    minimum = state.get("min")
+    maximum = state.get("max")
+    boundaries = state["boundaries"]
+    if minimum is None:
+        minimum = 0.0
+    if maximum is None:
+        maximum = boundaries[-1]
+    return estimate_quantile(
+        boundaries, state["counts"], state["total"], minimum, maximum, q
+    )
 
 
 class MetricsRegistry:

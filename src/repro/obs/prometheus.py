@@ -1,0 +1,280 @@
+"""Prometheus text exposition for registry/snapshot instrument maps.
+
+Renders the ``{name: state}`` maps produced by
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` (and shipped in
+:class:`~repro.obs.telemetry.MetricsSnapshot` frames) as Prometheus
+text format 0.0.4, and serves them from a stdlib
+:class:`~http.server.ThreadingHTTPServer` thread — no client library,
+no dependency, scrapeable by any Prometheus/VictoriaMetrics/curl.
+
+Naming: dotted internal names are sanitized (``.``/non-alnum → ``_``),
+prefixed ``vecycle_``, and counters gain the conventional ``_total``
+suffix — ``daemon.pages_received`` becomes
+``vecycle_daemon_pages_received_total``.  A small rename map gives the
+headline series their paper-facing names:
+
+==============================  ====================================
+internal                        exposition
+==============================  ====================================
+``daemon.recycled_bytes``       ``vecycle_recycled_bytes_total``
+``daemon.transferred_bytes``    ``vecycle_transferred_bytes_total``
+``orchestrator.downtime_seconds``  ``vecycle_migration_downtime_seconds``
+==============================  ====================================
+
+Histograms follow the Prometheus convention exactly: cumulative
+``_bucket{le="..."}`` series ending in ``le="+Inf"``, plus ``_sum``
+and ``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: Every exposed series name starts with this.
+NAME_PREFIX = "vecycle_"
+
+#: Internal metric names whose exposition name is fixed by convention
+#: (the generic sanitizer handles everything else).
+RENAMES: Dict[str, str] = {
+    "daemon.recycled_bytes": "recycled_bytes",
+    "daemon.transferred_bytes": "transferred_bytes",
+    "orchestrator.downtime_seconds": "migration_downtime_seconds",
+}
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def metric_name(name: str, kind: str) -> str:
+    """Exposition name for an internal instrument name."""
+    base = RENAMES.get(name) or "".join(
+        ch if ch.isalnum() else "_" for ch in name
+    )
+    full = NAME_PREFIX + base
+    if kind == "counter" and not full.endswith("_total"):
+        full += "_total"
+    return full
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        '%s="%s"' % (key, _escape_label(str(value)))
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def render_instruments(
+    instruments: Mapping[str, Mapping[str, Any]],
+    labels: Optional[Mapping[str, str]] = None,
+    emitted_headers: Optional[set] = None,
+) -> List[str]:
+    """Render one ``{name: state}`` map to exposition lines.
+
+    ``labels`` are attached to every sample (e.g. ``{"host": "a"}``).
+    ``emitted_headers`` dedupes ``# HELP``/``# TYPE`` headers when the
+    same metric appears in several labelled sections of one page.
+    """
+    labels = dict(labels or {})
+    if emitted_headers is None:
+        emitted_headers = set()
+    lines: List[str] = []
+    for name in sorted(instruments):
+        state = instruments[name]
+        kind = state.get("type")
+        if kind not in ("counter", "gauge", "histogram"):
+            continue
+        exposed = metric_name(name, kind)
+        if exposed not in emitted_headers:
+            emitted_headers.add(exposed)
+            lines.append(f"# HELP {exposed} {name}")
+            lines.append(f"# TYPE {exposed} {kind}")
+        if kind in ("counter", "gauge"):
+            lines.append(
+                f"{exposed}{_format_labels(labels)} "
+                f"{_format_value(state['value'])}"
+            )
+        else:
+            cumulative = 0
+            for boundary, count in zip(
+                list(state["boundaries"]) + [float("inf")], state["counts"]
+            ):
+                cumulative += count
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _format_value(boundary)
+                lines.append(
+                    f"{exposed}_bucket{_format_labels(bucket_labels)} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{exposed}_sum{_format_labels(labels)} "
+                f"{_format_value(state['sum'])}"
+            )
+            lines.append(
+                f"{exposed}_count{_format_labels(labels)} "
+                f"{_format_value(state['total'])}"
+            )
+    return lines
+
+
+def render_sections(
+    sections: Iterable[Tuple[Mapping[str, str], Mapping[str, Mapping[str, Any]]]],
+) -> str:
+    """Render several ``(labels, instruments)`` sections into one page."""
+    emitted: set = set()
+    lines: List[str] = []
+    for labels, instruments in sections:
+        lines.extend(render_instruments(instruments, labels, emitted))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+class MetricsServer:
+    """A scrape endpoint on a background thread.
+
+    Serves ``/metrics`` (Prometheus text), ``/metrics.json`` (the raw
+    dashboard view :mod:`vecycle top <repro.obs.top>` consumes), and
+    ``/healthz``.  Content is produced per request by the two callables,
+    so the server itself holds no state and needs no locking beyond
+    what the callables already guarantee (dict snapshots under the GIL).
+
+    Args:
+        render_text: Returns the current exposition page.
+        render_json: Returns the current dashboard view (a JSON-able
+            dict); defaults to an empty object.
+        host: Bind address; loopback by default — telemetry is not
+            authenticated, do not expose it beyond the host.
+        port: TCP port; 0 picks an ephemeral one (see :attr:`port`).
+    """
+
+    def __init__(
+        self,
+        render_text: Callable[[], str],
+        render_json: Optional[Callable[[], Dict[str, Any]]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._render_text = render_text
+        self._render_json = render_json or (lambda: {})
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                if path in ("/metrics", "/"):
+                    body = server._render_text().encode("utf-8")
+                    self._reply(200, CONTENT_TYPE, body)
+                elif path == "/metrics.json":
+                    body = json.dumps(server._render_json()).encode("utf-8")
+                    self._reply(200, "application/json", body)
+                elif path == "/healthz":
+                    self._reply(200, "text/plain", b"ok\n")
+                else:
+                    self._reply(404, "text/plain", b"not found\n")
+
+            def _reply(self, code: int, ctype: str, body: bytes) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt: str, *args: Any) -> None:
+                pass  # scrapes are not log-worthy
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (useful with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        """Begin serving on a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"metrics-server-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the endpoint down and join the serving thread."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
+    """Parse exposition text back into ``{name: {labels: value}}``.
+
+    Test/tooling helper (assertions against a scraped page), not a
+    full Prometheus parser — it understands exactly what
+    :func:`render_sections` emits.
+    """
+    series: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        metric, value = line.rsplit(" ", 1)
+        labels: Tuple[Tuple[str, str], ...] = ()
+        if "{" in metric:
+            name, raw = metric.split("{", 1)
+            raw = raw.rstrip("}")
+            pairs = []
+            for part in _split_labels(raw):
+                key, val = part.split("=", 1)
+                pairs.append((key, val.strip('"')))
+            labels = tuple(sorted(pairs))
+        else:
+            name = metric
+        series.setdefault(name, {})[labels] = float(value)
+    return series
+
+
+def _split_labels(raw: str) -> List[str]:
+    parts: List[str] = []
+    depth_quote = False
+    current = ""
+    for ch in raw:
+        if ch == '"':
+            depth_quote = not depth_quote
+            current += ch
+        elif ch == "," and not depth_quote:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    if current:
+        parts.append(current)
+    return parts

@@ -217,6 +217,7 @@ class Tracer:
         self._current: contextvars.ContextVar[int] = contextvars.ContextVar(
             "repro_obs_current_span", default=0
         )
+        self._listeners: List[Any] = []
 
     # -- recording -------------------------------------------------------
 
@@ -243,6 +244,25 @@ class Tracer:
 
     def _append(self, record: SpanRecord) -> None:
         self.records.append(record)
+        if self._listeners:
+            for listener in self._listeners:
+                listener(record)
+
+    def add_listener(self, listener) -> None:
+        """Call ``listener(record)`` for every finished span/event.
+
+        Listeners run on the recording path, so they must be cheap —
+        the flight recorder's deque append is the intended customer.
+        They only fire while the tracer is enabled (disabled tracing
+        never reaches :meth:`_append`).
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        """Detach a listener added with :meth:`add_listener`."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -337,5 +357,12 @@ def configure_from_env(environ: Optional[Dict[str, str]] = None) -> Optional[str
         except OSError:  # pragma: no cover - best effort at exit
             pass
 
+    # atexit covers clean exits; the flight recorder's dump hook covers
+    # unhandled exceptions and SIGUSR2, where atexit may never run
+    # (os._exit, fatal signals).  _flush rewrites the whole file, so
+    # running on both paths is harmless.
     atexit.register(_flush)
+    from repro.obs import flight
+
+    flight.register_flush(_flush)
     return path

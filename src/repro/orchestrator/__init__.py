@@ -20,6 +20,10 @@ wire protocol migrations use:
 * :func:`replay_vdi_live` replays the Figure-8 VDI schedule through all
   of the above on localhost daemons and checks the aggregate traffic
   against the analytic :func:`~repro.cluster.vdi.replay_vdi`.
+* :class:`TelemetryAggregator` polls daemons with TELEMETRY frames,
+  merges their sequence-numbered metrics snapshots into cluster
+  rollups (restart-tolerant delta accounting, per-host/per-VM labels),
+  and backs the controller's Prometheus endpoint and ``vecycle top``.
 """
 
 from repro.orchestrator.controller import Orchestrator
@@ -54,6 +58,7 @@ from repro.orchestrator.placement import (
     get_policy,
 )
 from repro.orchestrator.registry import ClusterRegistry, HostRecord
+from repro.orchestrator.telemetry import TelemetryAggregator
 
 __all__ = [
     "AdmissionLimits",
@@ -75,6 +80,7 @@ __all__ = [
     "PlacementError",
     "PlacementPolicy",
     "PlacementRequest",
+    "TelemetryAggregator",
     "available_policies",
     "digest_sketch",
     "get_policy",

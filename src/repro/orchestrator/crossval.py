@@ -19,9 +19,11 @@ protocol/planner/placement bug, not a sampling artifact.
 from __future__ import annotations
 
 import asyncio
+import time
+import urllib.request
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.cluster.schedule import MigrationEvent, vdi_schedule
 from repro.cluster.vdi import fingerprint_at, replay_vdi
@@ -29,12 +31,19 @@ from repro.core.strategies import MigrationStrategy, VECYCLE_DEDUP
 from repro.mem.pagestore import PageStore
 from repro.obs.log import get_logger
 from repro.obs.metrics import get_registry as _metrics
+from repro.obs.prometheus import MetricsServer
+from repro.obs.telemetry import set_active_aggregator
 from repro.obs.trace import span as _span
 from repro.orchestrator.controller import Orchestrator
-from repro.orchestrator.executor import AdmissionLimits, MigrationExecutor
+from repro.orchestrator.executor import (
+    AdmissionLimits,
+    MigrationExecutor,
+    MigrationOutcome,
+)
 from repro.orchestrator.inventory import DEFAULT_SKETCH_K
 from repro.orchestrator.placement import BestCheckpoint, PlacementPolicy
 from repro.orchestrator.registry import ClusterRegistry
+from repro.orchestrator.telemetry import TelemetryAggregator
 from repro.runtime.daemon import CheckpointDaemon
 from repro.runtime.source import RuntimeConfig
 from repro.traces.generate import Trace
@@ -53,6 +62,8 @@ class LiveVdiRecord:
     live_full_pages: int
     live_bytes: float
     analytic_bytes: float
+    downtime_s: float = 0.0
+    recycled_bytes: float = 0.0
 
 
 @dataclass
@@ -63,6 +74,11 @@ class LiveVdiCrossValidation:
     policy: str
     ram_bytes: int
     records: List[LiveVdiRecord] = field(default_factory=list)
+    outcomes: List[MigrationOutcome] = field(default_factory=list)
+    metrics_port: Optional[int] = None
+    prometheus_text: str = ""
+    wall_time_s: float = 0.0
+    telemetry: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def num_migrations(self) -> int:
@@ -110,6 +126,8 @@ async def replay_vdi_live(
     state_root: Optional[Path] = None,
     sketch_k: int = DEFAULT_SKETCH_K,
     vm_id: str = "vdi-vm",
+    metrics_port: Optional[int] = None,
+    metrics_linger_s: float = 0.0,
 ) -> LiveVdiCrossValidation:
     """Replay the VDI schedule through live daemons; compare to analytic.
 
@@ -120,6 +138,16 @@ async def replay_vdi_live(
     are ground truth for where the VM sits; destinations are whatever
     the policy picks — the comparison holds regardless, because the
     analytic model depends only on consecutive fingerprints.
+
+    Telemetry: a :class:`~repro.orchestrator.telemetry.
+    TelemetryAggregator` polls every daemon after each migration and is
+    registered as the run's active aggregator (so ``--trace-out`` JSONL
+    gains the cluster time series).  With ``metrics_port`` set (0 for
+    ephemeral), the controller additionally serves its merged Prometheus
+    page over HTTP for the whole run plus ``metrics_linger_s`` seconds
+    after the last migration — long enough for an external scraper to
+    catch it — and the scraped exposition text is returned on the
+    result.
 
     Raises RuntimeError if any live migration fails outright; a mere
     traffic mismatch is reported, not raised.
@@ -146,7 +174,14 @@ async def replay_vdi_live(
         config=config or RuntimeConfig(),
         pagestore=pagestore,
     )
+    aggregator = TelemetryAggregator(registry)
+    set_active_aggregator(aggregator)
+    metrics_server: Optional[MetricsServer] = None
+    prometheus_text = ""
+    bound_port: Optional[int] = None
+    outcomes: List[MigrationOutcome] = []
     daemons: Dict[str, CheckpointDaemon] = {}
+    started = time.monotonic()
     try:
         for name in host_names:
             daemon = CheckpointDaemon(
@@ -157,6 +192,14 @@ async def replay_vdi_live(
             await daemon.start()
             daemons[name] = daemon
             registry.register(name, daemon.host, daemon.port)
+        if metrics_port is not None:
+            metrics_server = MetricsServer(
+                render_text=aggregator.render_prometheus,
+                render_json=aggregator.dashboard_view,
+                port=metrics_port,
+            ).start()
+            bound_port = metrics_server.port
+            log.info("serving metrics", url=metrics_server.url)
 
         location = events[0].source
         orchestrator.locations[vm_id] = location
@@ -194,22 +237,52 @@ async def replay_vdi_live(
                         "num_pages": num_pages,
                     }
                 )
+                outcomes.append(outcome)
                 location = decision.destination
                 _metrics().counter("orchestrator.crossval.migrations").add(1)
+                await aggregator.poll_all()
+        if metrics_server is not None:
+            if metrics_linger_s > 0:
+                await asyncio.sleep(metrics_linger_s)
+            prometheus_text = await asyncio.to_thread(
+                _scrape, metrics_server.url
+            )
+        else:
+            prometheus_text = aggregator.render_prometheus()
     finally:
+        if metrics_server is not None:
+            metrics_server.stop()
         for daemon in daemons.values():
             await daemon.stop()
+    wall_time_s = time.monotonic() - started
 
     analytic = replay_vdi(trace, schedule=events, methods=(strategy.method,))
     result = LiveVdiCrossValidation(
         method=strategy.method.value,
         policy=policy.name,
         ram_bytes=analytic.ram_bytes,
+        outcomes=outcomes,
+        metrics_port=bound_port,
+        prometheus_text=prometheus_text,
+        wall_time_s=wall_time_s,
+        telemetry={
+            "polls": aggregator.polls,
+            "poll_failures": aggregator.poll_failures,
+            "restarts": aggregator.restarts,
+            "seq_gaps": aggregator.seq_gaps,
+            "poll_seconds": aggregator.poll_seconds,
+            "overhead_ratio": (
+                aggregator.poll_seconds / wall_time_s if wall_time_s else 0.0
+            ),
+            "recycle_ratio": aggregator.recycle_ratio(),
+        },
     )
-    for index, (event, row, record) in enumerate(
-        zip(events, live, analytic.records)
+    for index, (event, row, record, outcome) in enumerate(
+        zip(events, live, analytic.records, outcomes)
     ):
         page_bytes = analytic.ram_bytes / row["num_pages"]
+        sink = outcome.metrics.sink_stats if outcome.metrics else {}
+        reused = sink.get("reused_in_place", 0) + sink.get("reused_from_store", 0)
         result.records.append(
             LiveVdiRecord(
                 index=index,
@@ -220,6 +293,8 @@ async def replay_vdi_live(
                 live_bytes=row["full_pages"] * page_bytes,
                 analytic_bytes=record.fractions[strategy.method]
                 * analytic.ram_bytes,
+                downtime_s=outcome.downtime_s,
+                recycled_bytes=reused * page_bytes,
             )
         )
     log.info(
@@ -228,6 +303,12 @@ async def replay_vdi_live(
         relative_error=round(result.relative_error, 6),
     )
     return result
+
+
+def _scrape(url: str) -> str:
+    """Fetch the exposition page over real HTTP (runs in a thread)."""
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        return response.read().decode("utf-8")
 
 
 def run_live_vdi_crossval(*args, **kwargs) -> LiveVdiCrossValidation:

@@ -26,8 +26,9 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.obs import flight
 from repro.obs.log import get_logger
-from repro.obs.metrics import get_registry as _metrics
+from repro.obs.metrics import ROUND_SECONDS_BUCKETS, get_registry as _metrics
 from repro.obs.trace import span as _span
 from repro.runtime.metrics import MigrationMetrics
 from repro.runtime.source import DirtyFeed, MigrationError, MigrationSource
@@ -64,10 +65,17 @@ class MigrationOutcome:
     metrics: Optional[MigrationMetrics] = None
     error_code: Optional[str] = None
     error: Optional[str] = None
+    flight_record: Optional[str] = None
+    """Path of the flight-recorder dump written when this migration
+    failed (None for successes, or when dumping itself failed)."""
 
     @property
     def payload_bytes(self) -> int:
         return self.metrics.payload_bytes if self.metrics is not None else 0
+
+    @property
+    def downtime_s(self) -> float:
+        return self.metrics.downtime_s if self.metrics is not None else 0.0
 
 
 class MigrationExecutor:
@@ -126,6 +134,28 @@ class MigrationExecutor:
             if outcome.ok
             else "orchestrator.migrations.failed"
         ).add(1)
+        if outcome.ok and outcome.metrics is not None:
+            # Stop-and-copy downtime (last round's wall time) feeds the
+            # vecycle_migration_downtime_seconds histogram that
+            # `vecycle top` and the Prometheus endpoint report.
+            registry.histogram(
+                "orchestrator.downtime_seconds", ROUND_SECONDS_BUCKETS
+            ).observe(outcome.metrics.downtime_s)
+        if not outcome.ok:
+            # A failed migration is exactly when the recent-event ring
+            # matters: snapshot it now, while the context is fresh.
+            flight.default_recorder().note(
+                "migration.failed",
+                vm=vm_id,
+                destination=destination,
+                attempts=outcome.attempts,
+                code=outcome.error_code,
+                error=outcome.error,
+            )
+            outcome.flight_record = flight.default_recorder().dump(
+                f"migration failed vm={vm_id} dest={destination} "
+                f"code={outcome.error_code}"
+            )
         return outcome
 
     async def _run_with_retry(

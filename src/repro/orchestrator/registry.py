@@ -47,6 +47,8 @@ class HostRecord:
     last_seen: float = 0.0
     consecutive_failures: int = 0
     inventory: Optional[HostInventory] = None
+    telemetry_seq: int = 0
+    last_telemetry: float = 0.0
 
 
 class ClusterRegistry:

@@ -1,0 +1,353 @@
+"""Cluster telemetry aggregator: poll daemons, merge, expose.
+
+The controller-side half of the telemetry plane
+(:mod:`repro.obs.telemetry`).  The aggregator polls every registered
+daemon with a TELEMETRY frame — the same passive open/ask/close shape
+as the registry's HEARTBEAT probe — and folds the returned
+sequence-numbered :class:`~repro.obs.telemetry.MetricsSnapshot` into:
+
+* **per-host accumulations** keyed by ``host`` label, built from
+  snapshot *deltas* so a daemon restart (detected by a sequence
+  regression or a shrinking counter) loses only the unobserved gap,
+  never the already-aggregated history;
+* **per-VM rollups** keyed by ``vm`` label behind the same
+  cardinality guard daemons apply locally;
+* a **bounded in-memory time series** of cluster headline numbers
+  (recycled vs. transferred bytes, sessions) for dashboards and the
+  ``--trace-out`` JSONL export.
+
+Everything the aggregator serves — the Prometheus page, the
+``vecycle top`` dashboard view — is derived from this state plus the
+controller's own process registry (downtime histograms, placement
+counters), with the local ``daemon.*`` names filtered out because the
+in-process demo daemons already report themselves over the wire.
+"""
+
+from __future__ import annotations
+
+import collections
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry as _metrics
+from repro.obs.metrics import quantile_from_state
+from repro.obs.prometheus import render_sections
+from repro.obs.telemetry import (
+    OVERFLOW_LABEL,
+    MetricsSnapshot,
+    accumulate_instruments,
+    merge_instruments,
+)
+from repro.obs.trace import span as _span
+from repro.orchestrator.registry import ClusterRegistry
+from repro.runtime.frames import (
+    FrameCodec,
+    FrameError,
+    TYPE_TELEMETRY,
+    expect_frame,
+)
+from repro.runtime.shaping import open_shaped_connection
+
+log = get_logger(__name__)
+
+_TRANSPORT_ERRORS = (ConnectionError, TimeoutError, OSError, EOFError)
+
+#: Default bound on the retained time series (one entry per poll_all).
+DEFAULT_MAX_SERIES = 512
+
+
+class TelemetryAggregator:
+    """Polls daemons for metrics snapshots and merges them.
+
+    Args:
+        registry: The cluster registry providing daemon addresses (the
+            aggregator polls whoever is registered there).
+        poll_timeout_s: Per-probe I/O budget.
+        max_series: Bound on the in-memory time series.
+        max_vm_labels: Cluster-side per-VM label cap; VMs beyond it
+            fold into the overflow label (daemons apply the same guard
+            locally, but the cluster-wide union can be larger).
+    """
+
+    def __init__(
+        self,
+        registry: ClusterRegistry,
+        poll_timeout_s: float = 5.0,
+        max_series: int = DEFAULT_MAX_SERIES,
+        max_vm_labels: int = 64,
+    ) -> None:
+        self.registry = registry
+        self.poll_timeout_s = poll_timeout_s
+        self.max_vm_labels = max_vm_labels
+        self._last: Dict[str, MetricsSnapshot] = {}
+        self._acc: Dict[str, Dict[str, Dict[str, Any]]] = {}
+        self._vm_acc: Dict[str, Dict[str, float]] = {}
+        self._span_acc: Dict[str, Dict[str, Dict[str, float]]] = {}
+        self.series: collections.deque = collections.deque(maxlen=max_series)
+        self.polls = 0
+        self.poll_failures = 0
+        self.restarts = 0
+        self.seq_gaps = 0
+        self.labels_folded = 0
+        self.poll_seconds = 0.0
+
+    # --- polling --------------------------------------------------------
+
+    async def poll(self, name: str) -> Optional[MetricsSnapshot]:
+        """Probe one daemon; folds its snapshot in and returns it.
+
+        Returns None (and counts a failure) when the daemon is
+        unreachable — aggregation simply resumes at the next success,
+        with the delta machinery absorbing however much accumulated in
+        between.
+        """
+        record = self.registry.record(name)
+        started = time.monotonic()
+        self.polls += 1
+        with _span("orchestrator.telemetry", host=name) as probe_span:
+            try:
+                snapshot = await self._probe(record.host, record.port)
+            except (FrameError, *_TRANSPORT_ERRORS) as exc:
+                self.poll_failures += 1
+                probe_span.set(ok=False, cause=type(exc).__name__)
+                _metrics().counter("orchestrator.telemetry.failed").add(1)
+                log.warning(
+                    "telemetry probe failed", host=name, cause=str(exc)
+                )
+                return None
+            finally:
+                self.poll_seconds += time.monotonic() - started
+            probe_span.set(ok=True, seq=snapshot.seq)
+            _metrics().counter("orchestrator.telemetry.ok").add(1)
+            self._ingest(name, snapshot)
+            return snapshot
+
+    async def _probe(self, host: str, port: int) -> MetricsSnapshot:
+        codec = FrameCodec()
+        stream = await open_shaped_connection(
+            host,
+            port,
+            link=None,
+            time_scale=0.0,
+            connect_timeout_s=self.poll_timeout_s,
+        )
+        try:
+            await stream.send(
+                codec.encode_telemetry(
+                    {
+                        "controller": self.registry.controller_id,
+                        "seq": self.polls,
+                    }
+                )
+            )
+            recv = stream.recv_with_timeout(self.poll_timeout_s)
+            frame = await expect_frame(codec, recv, TYPE_TELEMETRY)
+            return MetricsSnapshot.from_dict(frame.body or {})
+        finally:
+            await stream.close()
+
+    async def poll_all(self) -> Dict[str, Optional[MetricsSnapshot]]:
+        """Probe every registered daemon; appends one series sample."""
+        results: Dict[str, Optional[MetricsSnapshot]] = {}
+        for name in self.registry.hosts():
+            results[name] = await self.poll(name)
+        self._sample()
+        return results
+
+    # --- ingestion ------------------------------------------------------
+
+    def _ingest(self, name: str, snapshot: MetricsSnapshot) -> None:
+        try:
+            record = self.registry.record(name)
+        except KeyError:
+            record = None
+        if record is not None:
+            record.telemetry_seq = snapshot.seq
+            record.last_telemetry = snapshot.taken_at
+        previous = self._last.get(name)
+        delta, restarted = snapshot.delta(previous)
+        if restarted and previous is not None:
+            self.restarts += 1
+            log.warning(
+                "daemon telemetry restarted",
+                host=name,
+                old_seq=previous.seq,
+                new_seq=snapshot.seq,
+            )
+        elif previous is not None and snapshot.seq > previous.seq + 1:
+            # Sequence numbers advance once per snapshot taken, and
+            # other consumers (vecycle top, a second controller) also
+            # take snapshots — a gap is expected then, but it still
+            # means some intermediate state was observed elsewhere only.
+            # Counters are cumulative, so nothing is lost; the gap is
+            # just worth counting.
+            self.seq_gaps += 1
+        self._last[name] = snapshot
+        acc = self._acc.setdefault(name, {})
+        accumulate_instruments(acc, delta.instruments)
+        for vm, values in delta.per_vm.items():
+            self._fold_vm(vm, values)
+        span_acc = self._span_acc.setdefault(name, {})
+        for span_name, values in delta.spans.items():
+            entry = span_acc.setdefault(
+                span_name, {"count": 0.0, "wall_s": 0.0}
+            )
+            entry["count"] += values.get("count", 0.0)
+            entry["wall_s"] += values.get("wall_s", 0.0)
+
+    def _fold_vm(self, vm: str, values: Dict[str, float]) -> None:
+        target = self._vm_acc.get(vm)
+        if target is None:
+            if len(self._vm_acc) >= self.max_vm_labels and vm != OVERFLOW_LABEL:
+                self.labels_folded += 1
+                self._fold_vm(OVERFLOW_LABEL, values)
+                return
+            target = self._vm_acc[vm] = {}
+        for key, value in values.items():
+            target[key] = target.get(key, 0.0) + value
+
+    def _sample(self) -> None:
+        cluster = self.cluster_instruments()
+        self.series.append(
+            {
+                "taken_at": time.time(),
+                "recycled_bytes": _counter_value(
+                    cluster, "daemon.recycled_bytes"
+                ),
+                "transferred_bytes": _counter_value(
+                    cluster, "daemon.transferred_bytes"
+                ),
+                "sessions_completed": _counter_value(
+                    cluster, "daemon.sessions.completed"
+                ),
+                "hosts": sorted(self._acc),
+            }
+        )
+
+    # --- views ----------------------------------------------------------
+
+    def host_instruments(self) -> Dict[str, Dict[str, Dict[str, Any]]]:
+        """Accumulated instruments per host (host → name → state)."""
+        return {host: dict(acc) for host, acc in self._acc.items()}
+
+    def cluster_instruments(self) -> Dict[str, Dict[str, Any]]:
+        """All hosts' accumulations merged into one rollup."""
+        return merge_instruments(self._acc.values())
+
+    def per_vm(self) -> Dict[str, Dict[str, float]]:
+        """Accumulated per-VM rollups (vm → counter name → value)."""
+        return {vm: dict(values) for vm, values in self._vm_acc.items()}
+
+    def recycle_ratio(self, host: Optional[str] = None) -> float:
+        """Recycled / (recycled + transferred) bytes, cluster or host."""
+        instruments = (
+            self._acc.get(host, {}) if host else self.cluster_instruments()
+        )
+        recycled = _counter_value(instruments, "daemon.recycled_bytes")
+        transferred = _counter_value(instruments, "daemon.transferred_bytes")
+        denominator = recycled + transferred
+        return recycled / denominator if denominator else 0.0
+
+    def render_prometheus(self) -> str:
+        """The controller's exposition page.
+
+        Per-host sections from the wire, per-VM counter sections, then
+        the controller's own process registry under
+        ``host="<controller_id>"`` — minus ``daemon.*`` names, which
+        in-process demo daemons write into the same registry and which
+        the wire sections already carry per host.
+        """
+        sections = []
+        for host in sorted(self._acc):
+            sections.append(({"host": host}, self._acc[host]))
+        for vm in sorted(self._vm_acc):
+            sections.append(
+                (
+                    {"vm": vm},
+                    {
+                        name: {"type": "counter", "value": value}
+                        for name, value in sorted(self._vm_acc[vm].items())
+                    },
+                )
+            )
+        local = {
+            name: state
+            for name, state in _metrics().snapshot().items()
+            if not name.startswith("daemon.")
+        }
+        sections.append(({"host": self.registry.controller_id}, local))
+        return render_sections(sections)
+
+    def dashboard_view(self) -> Dict[str, Any]:
+        """Everything ``vecycle top`` renders, as one JSON-able dict."""
+        local = _metrics().snapshot()
+        downtime = local.get("orchestrator.downtime_seconds", {})
+        hosts = []
+        for name in sorted(self._acc):
+            acc = self._acc[name]
+            last = self._last.get(name)
+            recycled = _counter_value(acc, "daemon.recycled_bytes")
+            transferred = _counter_value(acc, "daemon.transferred_bytes")
+            hosts.append(
+                {
+                    "host": name,
+                    "seq": last.seq if last else 0,
+                    "age_s": time.time() - last.taken_at if last else None,
+                    "sessions_completed": _counter_value(
+                        acc, "daemon.sessions.completed"
+                    ),
+                    "recycled_bytes": recycled,
+                    "transferred_bytes": transferred,
+                    "recycle_ratio": (
+                        recycled / (recycled + transferred)
+                        if recycled + transferred
+                        else 0.0
+                    ),
+                }
+            )
+        active = local.get("orchestrator.migrations.active", {})
+        return {
+            "taken_at": time.time(),
+            "controller": self.registry.controller_id,
+            "hosts": hosts,
+            "cluster": {
+                "recycled_bytes": sum(h["recycled_bytes"] for h in hosts),
+                "transferred_bytes": sum(
+                    h["transferred_bytes"] for h in hosts
+                ),
+                "recycle_ratio": self.recycle_ratio(),
+                "active_migrations": active.get("value", 0.0),
+                "migrations_completed": _counter_value(
+                    local, "orchestrator.migrations.completed"
+                ),
+                "migrations_failed": _counter_value(
+                    local, "orchestrator.migrations.failed"
+                ),
+                "downtime_p50_s": quantile_from_state(downtime, 0.5),
+                "downtime_p99_s": quantile_from_state(downtime, 0.99),
+                "downtime_count": downtime.get("total", 0),
+            },
+            "per_vm": self.per_vm(),
+            "health": {
+                "polls": self.polls,
+                "poll_failures": self.poll_failures,
+                "restarts": self.restarts,
+                "seq_gaps": self.seq_gaps,
+                "labels_folded": self.labels_folded,
+                "poll_seconds": self.poll_seconds,
+            },
+        }
+
+    def export_series(self) -> List[Dict[str, Any]]:
+        """The bounded time series, oldest first (JSONL export body)."""
+        return list(self.series)
+
+
+def _counter_value(
+    instruments: Dict[str, Dict[str, Any]], name: str
+) -> float:
+    state = instruments.get(name)
+    if not state or state.get("type") not in ("counter", "gauge"):
+        return 0.0
+    return float(state.get("value", 0.0))

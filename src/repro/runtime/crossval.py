@@ -163,6 +163,7 @@ async def cross_validate(
     config: Optional[RuntimeConfig] = None,
     announce_known: bool = False,
     state_dir: Optional[str] = None,
+    metrics_port: Optional[int] = None,
 ) -> CrossValidation:
     """Run ``scenario`` through the live runtime and the analytic model.
 
@@ -172,6 +173,8 @@ async def cross_validate(
             and both paths charge zero announce traffic.
         state_dir: Durable state directory for the destination daemon;
             the migrated checkpoint survives there past this run.
+        metrics_port: Serve the destination daemon's Prometheus page on
+            this port for the duration of the run (0 = ephemeral).
     """
     strategy = scenario.strategy
     method = strategy.method
@@ -196,6 +199,7 @@ async def cross_validate(
         time_scale=config.time_scale,
         pagestore=pagestore,
         state_dir=state_dir,
+        metrics_port=metrics_port,
     )
     async with daemon:
         known = None

@@ -46,8 +46,11 @@ from repro.core.protocol import WireFormat
 from repro.core.transfer import Method
 from repro.mem.pagestore import ContentAddressedStore, PageStore
 from repro.net.link import Link
+from repro.obs.flight import FlightRecorder
 from repro.obs.log import get_logger
 from repro.obs.metrics import get_registry
+from repro.obs.prometheus import MetricsServer, render_sections
+from repro.obs.telemetry import TelemetrySource
 from repro.obs.trace import span as _span
 from repro.storage.repository import CheckpointManifest, CheckpointRepository
 from repro.runtime.frames import (
@@ -62,6 +65,7 @@ from repro.runtime.frames import (
     TYPE_PAGE_PLAIN,
     TYPE_PAGE_REF,
     TYPE_ROUND,
+    TYPE_TELEMETRY,
 )
 from repro.runtime.shaping import ShapedStream
 
@@ -345,6 +349,9 @@ class CheckpointDaemon:
         max_concurrent_migrations: Advertised migration capacity for
             the cluster control plane's admission control; the daemon
             itself accepts any number of concurrent sessions.
+        metrics_port: When set (0 for an ephemeral port), :meth:`start`
+            also serves Prometheus text exposition of this daemon's
+            telemetry on ``http://127.0.0.1:<port>/metrics``.
     """
 
     def __init__(
@@ -357,6 +364,7 @@ class CheckpointDaemon:
         state_dir: Optional[Path | str] = None,
         repository: Optional[CheckpointRepository] = None,
         max_concurrent_migrations: int = 2,
+        metrics_port: Optional[int] = None,
     ) -> None:
         self.name = name
         self.link = link
@@ -374,8 +382,21 @@ class CheckpointDaemon:
         self._fault: Optional[_FaultPlan] = None
         self.host: Optional[str] = None
         self.port: Optional[int] = None
+        # Telemetry: counters land in the process-wide registry (the
+        # pre-existing contract tests and exporters rely on) *and* in a
+        # per-daemon source, so co-hosted daemons in one process stay
+        # separable on the wire and in Prometheus labels.
+        self.telemetry = TelemetrySource(name)
+        self.flight = FlightRecorder(f"daemon-{name}")
+        self.metrics_port = metrics_port
+        self.metrics_server: Optional[MetricsServer] = None
         if self.repository is not None:
             self._recover()
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        """Increment a counter in both the global and per-daemon registries."""
+        get_registry().counter(name).add(amount)
+        self.telemetry.counter(name).add(amount)
 
     def _recover(self) -> None:
         """Rebuild hosted checkpoints and sessions from the repository.
@@ -415,6 +436,19 @@ class CheckpointDaemon:
         self._server = await asyncio.start_server(self._on_connection, host, port)
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
+        if self.metrics_port is not None and self.metrics_server is None:
+            self.metrics_server = MetricsServer(
+                render_text=lambda: render_sections(self.telemetry.sections()),
+                render_json=lambda: {
+                    "host": self.name,
+                    "seq": self.telemetry.seq,
+                    "sections": [
+                        [labels, instruments]
+                        for labels, instruments in self.telemetry.sections()
+                    ],
+                },
+                port=self.metrics_port,
+            ).start()
         return self.host, self.port
 
     async def stop(self) -> None:
@@ -423,6 +457,9 @@ class CheckpointDaemon:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.metrics_server is not None:
+            self.metrics_server.stop()
+            self.metrics_server = None
 
     async def __aenter__(self) -> "CheckpointDaemon":
         await self.start()
@@ -670,6 +707,11 @@ class CheckpointDaemon:
             # Transport failure: keep the session for a resuming source.
             pass
         except (SinkProtocolError, FrameError) as exc:
+            self.flight.note(
+                "daemon.error",
+                code=getattr(exc, "code", "protocol"),
+                message=getattr(exc, "detail", str(exc)),
+            )
             await self._send_error(stream, exc)
         finally:
             await stream.close()
@@ -754,9 +796,9 @@ class CheckpointDaemon:
                     sessions=len(self._sessions),
                     cap=_MAX_RETAINED_SESSIONS,
                 )
-                get_registry().gauge("daemon.sessions.live_overflow").set(
-                    len(self._sessions) - _MAX_RETAINED_SESSIONS
-                )
+                overflow = len(self._sessions) - _MAX_RETAINED_SESSIONS
+                get_registry().gauge("daemon.sessions.live_overflow").set(overflow)
+                self.telemetry.gauge("daemon.sessions.live_overflow").set(overflow)
                 return
             victim = self._sessions.pop(victim_id)
             victim.release_refs()
@@ -770,16 +812,31 @@ class CheckpointDaemon:
         if hello.type == TYPE_HEARTBEAT:
             # Control-plane liveness probe: answer with the inventory
             # report and close — no migration session is created.
-            get_registry().counter("daemon.heartbeats").add(1)
+            self._count("daemon.heartbeats")
             body = self.inventory_report(
                 sketch_k=int(hello.body.get("sketch_k", 0)) or None
             )
             body["seq"] = hello.body.get("seq")
             await stream.send(codec.encode_inventory(body))
             return
+        if hello.type == TYPE_TELEMETRY:
+            # Metrics probe: answer with the next sequence-numbered
+            # snapshot and close — same passive shape as HEARTBEAT.
+            self._count("daemon.telemetry_probes")
+            body = self.telemetry.snapshot().to_dict()
+            body["probe_seq"] = hello.body.get("seq")
+            await stream.send(codec.encode_telemetry(body))
+            return
         if hello.type != TYPE_HELLO:
             raise SinkProtocolError("bad-hello", f"expected HELLO, got {hello.name}")
         session, codec = self._session_for(hello.body)
+        self.flight.note(
+            "session",
+            host=self.name,
+            vm=session.vm_id,
+            session=session.session_id,
+            resumed=session.total_applied > 0,
+        )
         recv = stream.recv_with_timeout(self.io_timeout_s)
         with _span(
             "daemon.session",
@@ -795,7 +852,13 @@ class CheckpointDaemon:
         codec: FrameCodec, hello: Frame,
     ) -> None:
         if session.completed:
-            get_registry().counter("daemon.result_replays").add(1)
+            self._count("daemon.result_replays")
+            self.flight.note(
+                "daemon.result",
+                vm=session.vm_id,
+                session=session.session_id,
+                replay=True,
+            )
             await stream.send(codec.encode_ready(session.round_no,
                                                  session.applied_in_round,
                                                  False, True))
@@ -820,7 +883,7 @@ class CheckpointDaemon:
                 digests = hosted.announce_digests() if hosted is not None else []
                 await stream.send(codec.encode_announce(digests))
                 announce_span.set(digests=len(digests))
-                get_registry().counter("daemon.announced_digests").add(len(digests))
+                self._count("daemon.announced_digests", len(digests))
 
         while True:
             frame = await codec.read_frame(recv)
@@ -845,7 +908,7 @@ class CheckpointDaemon:
                         received += 1
                         if self._should_abort(session):
                             round_span.set(received=received, aborted=True)
-                            get_registry().counter("daemon.injected_aborts").add(1)
+                            self._count("daemon.injected_aborts")
                             stream.abort()
                             return
                     round_span.set(received=received)
@@ -868,22 +931,45 @@ class CheckpointDaemon:
                             "applied_in_round": session.applied_in_round,
                         },
                     )
-                registry = get_registry()
-                registry.counter("daemon.sessions.completed").add(1)
-                registry.counter("daemon.pages_received").add(
-                    session.pages_received
+                self._count("daemon.sessions.completed")
+                self._count("daemon.pages_received", session.pages_received)
+                self._count("daemon.reused_in_place", session.reused_in_place)
+                self._count("daemon.reused_from_store", session.reused_from_store)
+                # The headline VeCycle numbers, per host and per VM:
+                # bytes the recycled checkpoint saved (pages NOT resent
+                # because they were reused in place or resolved from the
+                # content store) vs. payload bytes actually received.
+                # These are the same quantities MigrationMetrics reports
+                # on the source side, so cluster rollups reconcile with
+                # per-migration reports exactly.
+                recycled = (
+                    session.reused_in_place + session.reused_from_store
+                ) * session.page_size
+                self._count("daemon.recycled_bytes", recycled)
+                self._count("daemon.transferred_bytes", session.rx_payload_bytes)
+                self.telemetry.vm_count(session.vm_id, "recycled_bytes", recycled)
+                self.telemetry.vm_count(
+                    session.vm_id, "transferred_bytes", session.rx_payload_bytes
                 )
-                registry.counter("daemon.reused_in_place").add(
-                    session.reused_in_place
-                )
-                registry.counter("daemon.reused_from_store").add(
-                    session.reused_from_store
+                self.telemetry.vm_count(session.vm_id, "sessions_completed", 1)
+                # RESULT-phase note goes to the flight ring directly, so
+                # a daemon killed right after this point leaves a dump
+                # recording the verdict even with tracing disabled.
+                self.flight.note(
+                    "daemon.result",
+                    vm=session.vm_id,
+                    session=session.session_id,
+                    ok=result["ok"],
+                    pages_received=session.pages_received,
+                    reused_in_place=session.reused_in_place,
+                    reused_from_store=session.reused_from_store,
+                    rounds=session.round_no,
                 )
                 payload = codec.encode_result(result)
                 if self._should_abort_result():
                     # Drop the link with the RESULT half-sent: the
                     # session is committed, the source is left hanging.
-                    registry.counter("daemon.injected_aborts").add(1)
+                    self._count("daemon.injected_aborts")
                     await stream.send(payload[: max(1, len(payload) // 2)])
                     stream.abort()
                     return

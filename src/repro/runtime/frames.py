@@ -29,13 +29,17 @@ All integers are big-endian.  Frame layouts::
     COMPLETE       0x21 | u32 rounds | digest of per-slot digests
     HEARTBEAT      0x30 | u32 len | JSON
     INVENTORY      0x31 | u32 len | JSON
+    TELEMETRY      0x32 | u32 len | JSON
 
 The HEARTBEAT/INVENTORY pair is the cluster control plane's liveness
 probe (:mod:`repro.orchestrator`): a controller opens a connection,
 sends HEARTBEAT instead of HELLO, and the daemon answers with its
 inventory report (capacity plus a digest-summary of every hosted
-checkpoint) and closes.  Both are JSON control frames and are never
-mixed into a migration session.
+checkpoint) and closes.  TELEMETRY works the same way for metrics: a
+controller (or `vecycle top`) sends a TELEMETRY request frame and the
+daemon answers with one TELEMETRY frame carrying its sequence-numbered
+:class:`~repro.obs.telemetry.MetricsSnapshot` and closes.  All three
+are JSON control frames and are never mixed into a migration session.
 """
 
 from __future__ import annotations
@@ -60,6 +64,7 @@ TYPE_ROUND = 0x20
 TYPE_COMPLETE = 0x21
 TYPE_HEARTBEAT = 0x30
 TYPE_INVENTORY = 0x31
+TYPE_TELEMETRY = 0x32
 
 PAGE_FRAME_TYPES = frozenset(
     (TYPE_PAGE_FULL, TYPE_PAGE_CHECKSUM, TYPE_PAGE_REF, TYPE_PAGE_PLAIN)
@@ -79,6 +84,7 @@ FRAME_NAMES = {
     TYPE_COMPLETE: "complete",
     TYPE_HEARTBEAT: "heartbeat",
     TYPE_INVENTORY: "inventory",
+    TYPE_TELEMETRY: "telemetry",
 }
 
 _MAX_JSON_BODY = 1 << 20
@@ -187,6 +193,15 @@ class FrameCodec:
         """A daemon inventory report answering a HEARTBEAT (JSON body)."""
         return self._encode_json(TYPE_INVENTORY, body)
 
+    def encode_telemetry(self, body: Dict[str, Any]) -> bytes:
+        """A telemetry probe or its snapshot answer (JSON body).
+
+        Request bodies carry ``{"controller": ..., "seq": ...}``; the
+        reply carries a serialized
+        :class:`~repro.obs.telemetry.MetricsSnapshot`.
+        """
+        return self._encode_json(TYPE_TELEMETRY, body)
+
     @staticmethod
     def _encode_json(tag: int, body: Dict[str, Any]) -> bytes:
         encoded = json.dumps(body, separators=(",", ":")).encode("utf-8")
@@ -244,7 +259,7 @@ class FrameCodec:
             return Frame(tag, page_no=page_no, payload=payload,
                          wire_bytes=self.wire.message_bytes("plain"))
         if tag in (TYPE_HELLO, TYPE_RESULT, TYPE_ERROR, TYPE_HEARTBEAT,
-                   TYPE_INVENTORY):
+                   TYPE_INVENTORY, TYPE_TELEMETRY):
             (length,) = struct.unpack(">I", await recv(4))
             if length > _MAX_JSON_BODY:
                 raise FrameError(f"JSON body of {length} bytes exceeds limit")

@@ -95,6 +95,17 @@ class MigrationMetrics:
         return len(self.rounds)
 
     @property
+    def downtime_s(self) -> float:
+        """Stop-and-copy downtime: the final round's wall duration.
+
+        Pre-copy keeps the VM running through every round but the last;
+        the final round *is* the pause (the §2 downtime the paper's
+        Fig. 6 reports), so its wall duration is the live runtime's
+        downtime measurement.  Zero for runs that never reached a round.
+        """
+        return self.rounds[-1].duration_s if self.rounds else 0.0
+
+    @property
     def messages(self) -> int:
         return sum(self.messages_by_type.values())
 

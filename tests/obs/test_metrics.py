@@ -9,7 +9,13 @@ from repro.obs import (
     ROUND_SECONDS_BUCKETS,
     get_registry,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    quantile_from_state,
+)
 
 
 def test_counter_accumulates_and_rejects_negative():
@@ -99,3 +105,75 @@ def test_shared_default_registry_identity():
 def test_bucket_presets_strictly_increase():
     for preset in (PAGE_BYTES_BUCKETS, ROUND_SECONDS_BUCKETS):
         assert all(a < b for a, b in zip(preset, preset[1:]))
+
+
+class TestHistogramQuantile:
+    """Linear-interpolation quantiles checked against known distributions."""
+
+    def uniform_1_to_100(self) -> Histogram:
+        hist = Histogram(
+            "h", boundaries=tuple(float(b) for b in range(10, 100, 10))
+        )
+        for value in range(1, 101):
+            hist.observe(value)
+        return hist
+
+    def test_uniform_distribution_recovers_percentiles(self):
+        hist = self.uniform_1_to_100()
+        assert hist.quantile(0.5) == pytest.approx(50.0)
+        assert hist.quantile(0.9) == pytest.approx(90.0)
+        assert hist.quantile(0.25) == pytest.approx(25.0, abs=1.0)
+
+    def test_q0_is_observed_min_and_q1_observed_max(self):
+        hist = self.uniform_1_to_100()
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(1.0) == 100.0
+
+    def test_observed_extremes_tighten_open_ended_buckets(self):
+        # Everything lands in the overflow bucket; without min/max the
+        # estimate would be unbounded.
+        hist = Histogram("h", boundaries=(1.0,))
+        hist.observe(500.0)
+        hist.observe(600.0)
+        assert hist.quantile(0.0) == 500.0
+        assert hist.quantile(1.0) == 600.0
+        assert 500.0 <= hist.quantile(0.5) <= 600.0
+
+    def test_result_clamped_to_observed_range(self):
+        # Two samples close together in one wide bucket: interpolation
+        # inside (5, 100) must never escape the observed [5, 7] range.
+        hist = Histogram("h", boundaries=(100.0,))
+        hist.observe(5.0)
+        hist.observe(7.0)
+        for q in (0.1, 0.5, 0.9):
+            assert 5.0 <= hist.quantile(q) <= 7.0
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert Histogram("h", boundaries=(1.0,)).quantile(0.5) == 0.0
+
+    def test_out_of_range_q_raises(self):
+        hist = self.uniform_1_to_100()
+        with pytest.raises(ValueError, match="outside"):
+            hist.quantile(-0.1)
+        with pytest.raises(ValueError, match="outside"):
+            hist.quantile(1.5)
+
+    def test_quantile_from_state_matches_live_instrument(self):
+        hist = self.uniform_1_to_100()
+        state = hist.snapshot()
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert quantile_from_state(state, q) == pytest.approx(
+                hist.quantile(q)
+            )
+
+    def test_quantile_from_state_rejects_non_histograms(self):
+        assert quantile_from_state({}, 0.5) == 0.0
+        assert quantile_from_state({"type": "counter", "value": 3}, 0.5) == 0.0
+        assert (
+            quantile_from_state(
+                {"type": "histogram", "total": 0, "boundaries": [1.0],
+                 "counts": [0, 0], "min": None, "max": None},
+                0.5,
+            )
+            == 0.0
+        )

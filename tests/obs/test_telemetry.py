@@ -1,0 +1,249 @@
+"""Wire-exportable metrics snapshots: delta, merge, cardinality guard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import enable as enable_tracing, span
+from repro.obs.telemetry import (
+    OVERFLOW_LABEL,
+    MetricsSnapshot,
+    TelemetrySource,
+    accumulate_instruments,
+    get_active_aggregator,
+    merge_instruments,
+    set_active_aggregator,
+    span_census,
+)
+
+
+def make_source(name="hostA", **kwargs) -> TelemetrySource:
+    return TelemetrySource(name, **kwargs)
+
+
+class TestSnapshotRoundtrip:
+    def test_to_dict_from_dict_is_lossless(self):
+        source = make_source()
+        source.counter("daemon.pages_received").add(7)
+        source.gauge("daemon.sessions.active").set(2)
+        source.histogram("daemon.round_seconds", (1.0, 10.0)).observe(0.5)
+        source.vm_count("vm-1", "recycled_bytes", 4096)
+        snapshot = source.snapshot()
+        clone = MetricsSnapshot.from_dict(snapshot.to_dict())
+        assert clone.host == "hostA"
+        assert clone.seq == snapshot.seq == 1
+        assert clone.taken_at == snapshot.taken_at
+        assert clone.instruments == snapshot.instruments
+        assert clone.per_vm == {"vm-1": {"recycled_bytes": 4096.0}}
+
+    def test_from_dict_tolerates_missing_fields(self):
+        snapshot = MetricsSnapshot.from_dict({})
+        assert snapshot.host == ""
+        assert snapshot.seq == 0
+        assert snapshot.instruments == {}
+
+    def test_seq_advances_per_snapshot_not_per_read(self):
+        source = make_source()
+        assert source.seq == 0
+        source.snapshot()
+        source.snapshot()
+        assert source.seq == 2
+        source.sections()  # scrapes must not disturb wire bookkeeping
+        assert source.seq == 2
+
+
+class TestDeltaSemantics:
+    def test_counter_delta_between_consecutive_snapshots(self):
+        source = make_source()
+        source.counter("c").add(5)
+        first = source.snapshot()
+        source.counter("c").add(3)
+        second = source.snapshot()
+        delta, restarted = second.delta(first)
+        assert not restarted
+        assert delta.instruments["c"]["value"] == 3
+
+    def test_histogram_delta_diffs_counts_and_sum(self):
+        source = make_source()
+        hist = source.histogram("h", (10.0,))
+        hist.observe(5)
+        first = source.snapshot()
+        hist.observe(50)
+        second = source.snapshot()
+        delta, restarted = second.delta(first)
+        assert not restarted
+        state = delta.instruments["h"]
+        assert state["counts"] == [0, 1]
+        assert state["total"] == 1
+        assert state["sum"] == pytest.approx(50.0)
+
+    def test_gauge_passes_through_latest_level(self):
+        source = make_source()
+        source.gauge("g").set(10)
+        first = source.snapshot()
+        source.gauge("g").set(4)
+        second = source.snapshot()
+        delta, _ = second.delta(first)
+        assert delta.instruments["g"]["value"] == 4
+
+    def test_no_earlier_snapshot_is_a_restart(self):
+        source = make_source()
+        source.counter("c").add(1)
+        snapshot = source.snapshot()
+        delta, restarted = snapshot.delta(None)
+        assert restarted
+        assert delta is snapshot
+
+    def test_seq_regression_is_a_restart(self):
+        old = make_source()
+        old.counter("c").add(9)
+        before = old.snapshot()
+        before_again = old.snapshot()
+        reborn = make_source()  # fresh process: seq starts over
+        reborn.counter("c").add(2)
+        after = reborn.snapshot()
+        assert after.restarted_since(before_again)
+        delta, restarted = after.delta(before)
+        assert restarted
+        # The full post-restart snapshot is the increment.
+        assert delta.instruments["c"]["value"] == 2
+
+    def test_shrinking_counter_is_a_restart_even_with_higher_seq(self):
+        first = MetricsSnapshot(
+            host="a", seq=1, taken_at=0.0,
+            instruments={"c": {"type": "counter", "value": 100.0}},
+        )
+        second = MetricsSnapshot(
+            host="a", seq=5, taken_at=1.0,
+            instruments={"c": {"type": "counter", "value": 3.0}},
+        )
+        assert second.restarted_since(first)
+
+    def test_per_vm_delta_drops_unchanged_vms(self):
+        source = make_source()
+        source.vm_count("vm-a", "x", 5)
+        source.vm_count("vm-b", "x", 1)
+        first = source.snapshot()
+        source.vm_count("vm-a", "x", 2)
+        second = source.snapshot()
+        delta, _ = second.delta(first)
+        assert delta.per_vm == {"vm-a": {"x": 2.0}}
+
+
+class TestAccumulateAndMerge:
+    def test_accumulate_adds_counters_and_histograms(self):
+        acc = {}
+        accumulate_instruments(
+            acc, {"c": {"type": "counter", "value": 2.0}}
+        )
+        accumulate_instruments(
+            acc, {"c": {"type": "counter", "value": 3.0}}
+        )
+        assert acc["c"]["value"] == 5.0
+
+    def test_accumulate_gauge_is_last_write_wins(self):
+        acc = {}
+        accumulate_instruments(acc, {"g": {"type": "gauge", "value": 9.0}})
+        accumulate_instruments(acc, {"g": {"type": "gauge", "value": 4.0}})
+        assert acc["g"]["value"] == 4.0
+
+    def test_accumulate_histogram_combines_extremes(self):
+        base = {
+            "type": "histogram", "boundaries": [10.0], "counts": [1, 0],
+            "total": 1, "sum": 5.0, "mean": 5.0, "min": 5.0, "max": 5.0,
+        }
+        more = {
+            "type": "histogram", "boundaries": [10.0], "counts": [0, 1],
+            "total": 1, "sum": 50.0, "mean": 50.0, "min": 50.0, "max": 50.0,
+        }
+        acc = {}
+        accumulate_instruments(acc, {"h": base})
+        accumulate_instruments(acc, {"h": more})
+        state = acc["h"]
+        assert state["counts"] == [1, 1]
+        assert state["total"] == 2
+        assert state["min"] == 5.0 and state["max"] == 50.0
+        assert state["mean"] == pytest.approx(27.5)
+
+    def test_merge_sums_counters_and_gauges_across_hosts(self):
+        merged = merge_instruments(
+            [
+                {"c": {"type": "counter", "value": 2.0},
+                 "g": {"type": "gauge", "value": 1.0}},
+                {"c": {"type": "counter", "value": 5.0},
+                 "g": {"type": "gauge", "value": 3.0}},
+            ]
+        )
+        assert merged["c"]["value"] == 7.0
+        # Cluster gauge = sum of per-host levels ("active sessions").
+        assert merged["g"]["value"] == 4.0
+
+    def test_merge_does_not_mutate_inputs(self):
+        one = {"c": {"type": "counter", "value": 1.0}}
+        two = {"c": {"type": "counter", "value": 2.0}}
+        merge_instruments([one, two])
+        assert one["c"]["value"] == 1.0
+        assert two["c"]["value"] == 2.0
+
+
+class TestCardinalityGuard:
+    def test_per_vm_series_fold_past_the_cap(self):
+        source = make_source(max_vm_labels=2)
+        source.vm_count("vm-1", "x", 1)
+        source.vm_count("vm-2", "x", 1)
+        source.vm_count("vm-3", "x", 1)
+        source.vm_count("vm-4", "x", 1)
+        snapshot = source.snapshot()
+        assert set(snapshot.per_vm) == {"vm-1", "vm-2", OVERFLOW_LABEL}
+        assert snapshot.per_vm[OVERFLOW_LABEL]["x"] == 2.0
+        assert (
+            snapshot.instruments["telemetry.labels_folded"]["value"] == 2.0
+        )
+
+    def test_existing_vm_keeps_counting_past_the_cap(self):
+        source = make_source(max_vm_labels=1)
+        source.vm_count("vm-1", "x", 1)
+        source.vm_count("vm-2", "x", 1)  # folds
+        source.vm_count("vm-1", "x", 1)  # still direct
+        snapshot = source.snapshot()
+        assert snapshot.per_vm["vm-1"]["x"] == 2.0
+
+
+class TestSections:
+    def test_sections_label_host_then_vm(self):
+        source = make_source("hostB")
+        source.counter("daemon.heartbeats").add(1)
+        source.vm_count("vm-1", "recycled_bytes", 4096)
+        sections = source.sections()
+        assert sections[0][0] == {"host": "hostB"}
+        assert "daemon.heartbeats" in sections[0][1]
+        assert sections[1][0] == {"host": "hostB", "vm": "vm-1"}
+        assert sections[1][1]["recycled_bytes"]["value"] == 4096.0
+
+
+class TestSpanCensus:
+    def test_census_counts_matching_prefixes(self):
+        enable_tracing()
+        with span("daemon.round"):
+            pass
+        with span("daemon.round"):
+            pass
+        with span("orchestrator.place"):
+            pass
+        census = span_census(("daemon.",))
+        assert census["daemon.round"]["count"] == 2.0
+        assert "orchestrator.place" not in census
+
+    def test_census_empty_when_tracing_off(self):
+        assert span_census(("daemon.",)) == {}
+
+
+class TestActiveAggregatorHook:
+    def test_set_and_get(self):
+        sentinel = object()
+        set_active_aggregator(sentinel)
+        try:
+            assert get_active_aggregator() is sentinel
+        finally:
+            set_active_aggregator(None)
+        assert get_active_aggregator() is None

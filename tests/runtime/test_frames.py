@@ -20,6 +20,7 @@ from repro.runtime.frames import (
     TYPE_PAGE_REF,
     TYPE_READY,
     TYPE_ROUND,
+    TYPE_TELEMETRY,
     expect_frame,
 )
 
@@ -145,6 +146,17 @@ class TestRoundtrip:
         frame = roundtrip(codec, codec.encode_complete(4, DIGEST))
         assert (frame.type, frame.count, frame.digest) == (TYPE_COMPLETE, 4, DIGEST)
 
+    def test_telemetry(self):
+        codec = FrameCodec(WIRE)
+        body = {
+            "host": "host-a",
+            "seq": 7,
+            "instruments": {"c": {"type": "counter", "value": 3.0}},
+        }
+        frame = roundtrip(codec, codec.encode_telemetry(body))
+        assert frame.type == TYPE_TELEMETRY
+        assert frame.body == body
+
 
 class TestErrors:
     def test_unknown_tag(self):
@@ -185,3 +197,28 @@ class TestErrors:
     def test_header_too_small_rejected(self):
         with pytest.raises(ValueError, match="header_bytes"):
             FrameCodec(WireFormat(header_bytes=1))
+
+    def test_unknown_tag_0x7f(self):
+        codec = FrameCodec(WIRE)
+        with pytest.raises(FrameError, match="unknown frame type 0x7f"):
+            roundtrip(codec, b"\x7f")
+
+    def test_oversized_telemetry_body_rejected(self):
+        codec = FrameCodec(WIRE)
+        blob = bytes((TYPE_TELEMETRY,)) + ((1 << 20) + 1).to_bytes(4, "big")
+        with pytest.raises(FrameError, match="exceeds limit"):
+            roundtrip(codec, blob)
+
+    def test_truncated_telemetry_mid_length_prefix(self):
+        # The peer died after the tag and half the u32 length: the
+        # reader must surface the truncation, not hang or misparse.
+        codec = FrameCodec(WIRE)
+        blob = bytes((TYPE_TELEMETRY,)) + b"\x00\x00"
+        with pytest.raises(asyncio.IncompleteReadError):
+            roundtrip(codec, blob)
+
+    def test_truncated_telemetry_mid_body(self):
+        codec = FrameCodec(WIRE)
+        complete = codec.encode_telemetry({"host": "a", "seq": 1})
+        with pytest.raises(asyncio.IncompleteReadError):
+            roundtrip(codec, complete[:-3])
