@@ -64,6 +64,23 @@ SCORE_BUCKETS: Tuple[float, ...] = (
 """Histogram boundaries for [0, 1] placement-policy scores (expected
 page-reuse fractions, sketch similarities)."""
 
+STALL_SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+)
+"""Histogram boundaries for pipeline-stage stall times (seconds): how
+long one stage of the pipelined data path waited on a bounded queue.
+Finer-grained at the low end than ROUND_SECONDS_BUCKETS because a
+healthy pipeline stalls for microseconds, not milliseconds."""
+
 
 class Counter:
     """A monotonically increasing sum."""

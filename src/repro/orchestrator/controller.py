@@ -13,7 +13,7 @@ traffic it produced.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 import numpy as np
 
@@ -70,6 +70,14 @@ class Orchestrator:
         self.pagestore = pagestore or PageStore()
         self.locations: Dict[str, str] = {}
         self.decisions: list = []
+        # What each (vm, destination) pair's checkpoint looked like the
+        # last time we migrated there: the generation number plus its
+        # distinct digest set.  Seeding the next source with it earns a
+        # verified announce skip (generation still current) or a
+        # DIGEST_DELTA manifest (O(churn) instead of O(VM size)).
+        self._checkpoint_knowledge: Dict[
+            Tuple[str, str], Tuple[Optional[int], FrozenSet[bytes]]
+        ] = {}
 
     # --- placement ------------------------------------------------------
 
@@ -160,8 +168,15 @@ class Orchestrator:
         decision = self.place(request)
         if decision.deferred:
             return decision, None
+        known = self._checkpoint_knowledge.get((vm_id, decision.destination))
         source = MigrationSource(
-            SourceState(vm_id=vm_id, hashes=hashes, pagestore=self.pagestore),
+            SourceState(
+                vm_id=vm_id,
+                hashes=hashes,
+                pagestore=self.pagestore,
+                known_remote_digests=known[1] if known is not None else None,
+                known_remote_generation=known[0] if known is not None else None,
+            ),
             self.strategy,
             config=self.config,
         )
@@ -174,4 +189,10 @@ class Orchestrator:
             self.policy.record_migration(
                 vm_id, request.source_host, decision.destination
             )
+            digests = source.final_digests()
+            if digests is not None:
+                self._checkpoint_knowledge[(vm_id, decision.destination)] = (
+                    source.result_generation,
+                    digests,
+                )
         return decision, outcome

@@ -68,6 +68,10 @@ class MigrationOutcome:
     flight_record: Optional[str] = None
     """Path of the flight-recorder dump written when this migration
     failed (None for successes, or when dumping itself failed)."""
+    checkpoint_generation: Optional[int] = None
+    """The destination checkpoint generation the migrated image became
+    (from the RESULT frame); what the orchestrator remembers to earn an
+    announce skip or a DIGEST_DELTA manifest next time."""
 
     @property
     def payload_bytes(self) -> int:
@@ -171,12 +175,22 @@ class MigrationExecutor:
             attempts += 1
             try:
                 metrics = await source.migrate(host, port, dirty_feed=dirty_feed)
+                # getattr: test fakes implement only the migrate surface.
+                generation = getattr(source, "result_generation", None)
+                log.info(
+                    "migration completed",
+                    vm=source.state.vm_id,
+                    destination=destination,
+                    attempts=attempts,
+                    checkpoint_generation=generation,
+                )
                 return MigrationOutcome(
                     vm_id=source.state.vm_id,
                     destination=destination,
                     ok=True,
                     attempts=attempts,
                     metrics=metrics,
+                    checkpoint_generation=generation,
                 )
             except MigrationError as exc:
                 retryable = exc.code == "transport"

@@ -25,6 +25,7 @@ Worker count resolution order: explicit ``workers=`` argument, the
 
 from repro.parallel.pool import (
     ENV_WORKERS,
+    MIN_PARALLEL_SHARDS,
     pmap,
     resolve_workers,
     shard_seed,
@@ -32,6 +33,7 @@ from repro.parallel.pool import (
 
 __all__ = [
     "ENV_WORKERS",
+    "MIN_PARALLEL_SHARDS",
     "pmap",
     "resolve_workers",
     "shard_seed",

@@ -33,6 +33,13 @@ from typing import Callable, List, Optional, Sequence, TypeVar
 ENV_WORKERS = "REPRO_WORKERS"
 """Environment variable consulted when no explicit worker count is given."""
 
+MIN_PARALLEL_SHARDS = 4
+"""Below this many shards, ``pmap`` runs inline: forking a process pool
+costs tens of milliseconds before the first shard executes, which a
+handful of shards cannot win back.  (The fig8 replay benchmark measured
+a 0.92× parallel "speedup" — slower than serial — from exactly this
+overhead plus worker oversubscription.)"""
+
 _SEED_MIX = 0x9E3779B97F4A7C15
 """Odd 64-bit constant (golden-ratio mix) for shard-seed derivation."""
 
@@ -130,20 +137,24 @@ def pmap(
         order, byte-identical across any worker count.
     """
     shards = list(shards)
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     workers = resolve_workers(workers)
+    # The *requested* count (argument or env) may exceed the machine:
+    # more workers than cores just time-slice each other and lose to
+    # serial.  Clamp to what can actually run concurrently.
+    workers = min(workers, os.cpu_count() or 1)
     seeds = (
         [shard_seed(seed, index) for index in range(len(shards))]
         if seed is not None
         else None
     )
-    if workers == 1 or len(shards) <= 1:
+    if workers == 1 or len(shards) < MIN_PARALLEL_SHARDS:
         return _run_chunk(fn, shards, seeds)
 
     workers = min(workers, len(shards))
     if chunk_size is None:
         chunk_size = max(1, math.ceil(len(shards) / (workers * 4)))
-    elif chunk_size < 1:
-        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     chunks = [
         (
             shards[start : start + chunk_size],

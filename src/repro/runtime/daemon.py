@@ -33,10 +33,10 @@ from __future__ import annotations
 
 import asyncio
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
@@ -48,7 +48,7 @@ from repro.mem.pagestore import ContentAddressedStore, PageStore
 from repro.net.link import Link
 from repro.obs.flight import FlightRecorder
 from repro.obs.log import get_logger
-from repro.obs.metrics import get_registry
+from repro.obs.metrics import SCORE_BUCKETS, STALL_SECONDS_BUCKETS, get_registry
 from repro.obs.prometheus import MetricsServer, render_sections
 from repro.obs.telemetry import TelemetrySource
 from repro.obs.trace import span as _span
@@ -76,6 +76,12 @@ _MAX_RETAINED_SESSIONS = 64
 first; *live* sessions are never evicted (the reconnect/resume
 guarantee), so the dict may grow past this under extreme concurrency."""
 
+_MAX_DELTA_HISTORY = 4
+"""Checkpoint generations per VM whose distinct digest sets are kept
+in memory for delta-manifest computation.  History is deliberately
+*not* persisted: after a restart the daemon cannot prove what changed
+since an older generation, so it falls back to the full announce."""
+
 
 class SinkProtocolError(RuntimeError):
     """The incoming stream violated the protocol (non-retryable)."""
@@ -100,6 +106,9 @@ class HostedCheckpoint:
     slot_digests: List[bytes]
     timestamp: float = field(default=0.0, compare=False)
     last_used: float = field(default=0.0, compare=False)
+    generation: int = field(default=0, compare=False)
+    """Monotonic per-VM adoption counter; lets a returning source prove
+    its remembered digest set is current (or get a delta against it)."""
 
     @property
     def num_pages(self) -> int:
@@ -313,6 +322,158 @@ class _SinkSession:
         return self.result
 
 
+class _WriteBehind:
+    """Bounded write-behind queue for repository segment writes.
+
+    Incoming page frames used to pay a synchronous ``put_page`` (temp
+    file + fsync + rename) each, serializing disk I/O with frame
+    reception.  Now :meth:`defer` just enqueues the (digest, page) pair
+    and a single worker task writes it through in a thread, overlapping
+    segment I/O with the socket.  Durability semantics are unchanged
+    because every commit point drains first:
+
+    * the COMPLETE path awaits :meth:`drain` before verifying/adopting,
+      so everything is on disk before the manifest commits and the
+      RESULT is acked — and any error the worker swallowed (fault-hook
+      ``kill -9`` simulations included) re-raises right there, exactly
+      where the old synchronous write would have raised;
+    * synchronous installs call :meth:`flush_sync`, which writes the
+      backlog inline.
+
+    ``max_pending_bytes`` bounds the backlog; :meth:`throttle` (awaited
+    per applied frame) blocks reception while the writer is more than
+    that far behind, turning disk pressure into socket backpressure.
+    """
+
+    def __init__(self, repository: CheckpointRepository,
+                 max_pending_bytes: int = 8 << 20) -> None:
+        self._repository = repository
+        self.max_pending_bytes = max_pending_bytes
+        self._queue: Deque[Tuple[bytes, bytes]] = deque()
+        self.pending_bytes = 0
+        self._inflight: Optional[Tuple[bytes, bytes]] = None
+        self._error: Optional[BaseException] = None
+        self._task: Optional[asyncio.Task] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._waiters: List[asyncio.Future] = []
+
+    @property
+    def idle(self) -> bool:
+        return not self._queue and self._inflight is None
+
+    def defer(self, digest: bytes, page: bytes) -> None:
+        """Queue one segment write (the content store's spill hook)."""
+        self._queue.append((digest, page))
+        self.pending_bytes += len(page)
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            # Synchronous caller (checkpoint install outside the loop):
+            # flush_sync() writes the backlog before any commit.
+            return
+        self._ensure_worker(loop)
+        self._wake.set()
+
+    def _ensure_worker(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self._task is not None and not self._task.done():
+            return
+        self._wake = asyncio.Event()
+        self._task = loop.create_task(self._run())
+
+    async def _run(self) -> None:
+        while True:
+            while not self._queue:
+                self._wake.clear()
+                await self._wake.wait()
+            digest, page = self._queue.popleft()
+            self.pending_bytes -= len(page)
+            self._inflight = (digest, page)
+            try:
+                await asyncio.to_thread(self._repository.put_page, digest, page)
+            except asyncio.CancelledError:
+                # Shutdown: leave the item for flush_sync (put_page is
+                # idempotent, a half-written temp file is harmless).
+                self._queue.appendleft((digest, page))
+                self.pending_bytes += len(page)
+                self._inflight = None
+                self._notify()
+                raise
+            except BaseException as exc:  # fault hooks raise BaseException
+                if self._error is None:
+                    self._error = exc
+            finally:
+                if self._inflight is not None:
+                    self._inflight = None
+                    self._notify()
+
+    def _notify(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+
+    async def _wait_progress(self) -> None:
+        waiter = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        await waiter
+
+    async def throttle(self) -> None:
+        """Block while the backlog exceeds ``max_pending_bytes``."""
+        if self.pending_bytes <= self.max_pending_bytes or self.idle:
+            return
+        started = time.perf_counter()
+        while self.pending_bytes > self.max_pending_bytes and not self.idle:
+            await self._wait_progress()
+        registry = get_registry()
+        registry.histogram(
+            "pipeline.stage_stall_seconds", STALL_SECONDS_BUCKETS
+        ).observe(time.perf_counter() - started)
+        registry.counter("pipeline.stall.writebehind").add(
+            time.perf_counter() - started
+        )
+
+    async def drain(self) -> None:
+        """Wait until the backlog has durably landed; re-raise errors."""
+        if self._queue and (self._task is None or self._task.done()):
+            self._ensure_worker(asyncio.get_running_loop())
+            self._wake.set()
+        while not self.idle:
+            await self._wait_progress()
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+
+    def flush_sync(self) -> None:
+        """Write the backlog inline (synchronous install path).
+
+        An item the worker currently holds in flight may get written
+        twice; ``put_page`` is idempotent and atomic, so the duplicate
+        is harmless — what matters is that ``has_page`` is true for
+        everything deferred before the caller commits a manifest.
+        """
+        inflight = self._inflight
+        if inflight is not None:
+            self._repository.put_page(*inflight)
+        while self._queue:
+            digest, page = self._queue.popleft()
+            self.pending_bytes -= len(page)
+            self._repository.put_page(digest, page)
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+
+    async def close(self) -> None:
+        """Stop the worker and write anything still queued."""
+        if self._task is not None:
+            task, self._task = self._task, None
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self.flush_sync()
+
+
 @dataclass
 class _FaultPlan:
     """Test hook: abort the connection at a chosen protocol point.
@@ -375,8 +536,21 @@ class CheckpointDaemon:
         if repository is None and state_dir is not None:
             repository = CheckpointRepository(state_dir)
         self.repository = repository
-        self.store = ContentAddressedStore(repository=repository)
+        # Write-behind persistence: incoming pages spill to the
+        # repository through a bounded queue instead of a synchronous
+        # write-through, drained before any commit point.
+        self._persist = (
+            _WriteBehind(repository) if repository is not None else None
+        )
+        self.store = ContentAddressedStore(
+            repository=repository,
+            spill=self._persist.defer if self._persist is not None else None,
+        )
         self.checkpoints: Dict[str, HostedCheckpoint] = {}
+        # Per-VM checkpoint generation counters and the recent distinct
+        # digest set per generation (for DIGEST_DELTA manifests).
+        self._generations: Dict[str, int] = {}
+        self._delta_history: Dict[str, "OrderedDict[int, FrozenSet[bytes]]"] = {}
         self._sessions: "OrderedDict[str, _SinkSession]" = OrderedDict()
         self._server: Optional[asyncio.AbstractServer] = None
         self._fault: Optional[_FaultPlan] = None
@@ -413,7 +587,12 @@ class CheckpointDaemon:
                 vm_id=manifest.vm_id,
                 slot_digests=digests,
                 timestamp=manifest.timestamp,
+                generation=manifest.generation,
             )
+            # Generations resume where the manifest left off, but the
+            # delta history does not survive a restart: the next visitor
+            # with an older base generation gets the full announce.
+            self._generations[manifest.vm_id] = manifest.generation
         for session_id, payload in report.sessions.items():
             self._sessions[session_id] = _SinkSession.restore(
                 session_id, self.store, payload
@@ -460,6 +639,8 @@ class CheckpointDaemon:
         if self.metrics_server is not None:
             self.metrics_server.stop()
             self.metrics_server = None
+        if self._persist is not None:
+            await self._persist.close()
 
     async def __aenter__(self) -> "CheckpointDaemon":
         await self.start()
@@ -480,14 +661,18 @@ class CheckpointDaemon:
 
         Materializes each distinct content once into the shared content
         store — the runtime equivalent of the destination's sequential
-        checkpoint read that hashes every block (§3.3).
+        checkpoint read that hashes every block (§3.3).  Digests come
+        from the batched :meth:`~repro.mem.pagestore.PageStore.digests_for`
+        path, so a duplicate-heavy image hashes its distinct contents
+        once instead of paying a cache probe per slot.
         """
-        slot_digests: List[bytes] = []
-        for content_id in np.asarray(fingerprint.hashes, dtype=np.uint64):
-            digest = self.pagestore.digest_for(int(content_id), algorithm)
+        hashes = np.asarray(fingerprint.hashes, dtype=np.uint64)
+        slot_digests = self.pagestore.digests_for(hashes, algorithm)
+        uniques, first_pos = np.unique(hashes, return_index=True)
+        for content_id, slot in zip(uniques.tolist(), first_pos.tolist()):
+            digest = slot_digests[slot]
             if digest not in self.store:
-                self.store.put(digest, self.pagestore.page_bytes(int(content_id)))
-            slot_digests.append(digest)
+                self.store.put(digest, self.pagestore.page_bytes(content_id))
         return self._adopt_checkpoint(
             vm_id,
             slot_digests,
@@ -508,11 +693,18 @@ class CheckpointDaemon:
 
         Takes content-store references for the new checkpoint, releases
         the replaced one's, and — with a repository — commits the
-        manifest durably (pages were written through as they arrived,
-        so the manifest rename is the single commit point).
+        manifest durably.  Any write-behind backlog is flushed first,
+        so every page the manifest references is on disk before the
+        manifest rename (still the single commit point).  Each adoption
+        bumps the VM's generation counter and records the distinct
+        digest set in the bounded delta history that powers
+        DIGEST_DELTA manifests.
         """
         if timestamp is None:
             timestamp = time.time()
+        if self._persist is not None:
+            self._persist.flush_sync()
+        generation = self._generations.get(vm_id, 0) + 1
         self.store.retain_many(slot_digests)
         previous = self.checkpoints.get(vm_id)
         hosted = HostedCheckpoint(
@@ -520,8 +712,14 @@ class CheckpointDaemon:
             slot_digests=list(slot_digests),
             timestamp=timestamp,
             last_used=timestamp,
+            generation=generation,
         )
         self.checkpoints[vm_id] = hosted
+        self._generations[vm_id] = generation
+        history = self._delta_history.setdefault(vm_id, OrderedDict())
+        history[generation] = frozenset(slot_digests)
+        while len(history) > _MAX_DELTA_HISTORY:
+            history.popitem(last=False)
         if self.repository is not None:
             self.repository.commit_checkpoint(
                 CheckpointManifest(
@@ -530,6 +728,7 @@ class CheckpointDaemon:
                     algorithm=algorithm.name,
                     page_size=page_size,
                     timestamp=timestamp,
+                    generation=generation,
                 )
             )
         if previous is not None:
@@ -805,6 +1004,55 @@ class CheckpointDaemon:
             if self.repository is not None:
                 self.repository.drop_session(victim_id)
 
+    def _plan_announce(
+        self, session: _SinkSession, hello_body: dict
+    ) -> Tuple[bool, Optional[Tuple[int, int, List[bytes], List[bytes]]]]:
+        """Decide the checksum-manifest shape for this HELLO.
+
+        Returns ``(announce_follows, delta)``; ``delta`` is
+        ``(generation, base_generation, added, removed)`` when a
+        DIGEST_DELTA frame should be sent instead of the full ANNOUNCE.
+
+        The decision tree stays replay-compatible with older sources:
+
+        * no ``announce_known`` claim → full ANNOUNCE (as always);
+        * ``announce_known`` without a ``base_generation`` → trusted
+          skip (the legacy §3.3 ping-pong shortcut);
+        * ``base_generation`` equal to the hosted checkpoint's current
+          generation → verified skip;
+        * ``base_generation`` found in the in-memory delta history →
+          DIGEST_DELTA with exactly what changed since then;
+        * anything else (stale generation, post-restart history loss,
+          no hosted checkpoint) → full ANNOUNCE fallback.
+        """
+        if not session.method.uses_hashes or session.announce_acked:
+            return False, None
+        if not hello_body.get("announce_known", False):
+            return True, None
+        base_generation = hello_body.get("base_generation")
+        if base_generation is None:
+            # Legacy source claiming full knowledge: trusted skip.
+            return False, None
+        base_generation = int(base_generation)
+        hosted = self.checkpoints.get(session.vm_id)
+        if hosted is not None and base_generation == hosted.generation:
+            self._count("daemon.announce.skipped")
+            return False, None
+        base = self._delta_history.get(session.vm_id, {}).get(base_generation)
+        if (
+            hosted is not None
+            and base is not None
+            and hosted.generation > base_generation
+        ):
+            current = frozenset(hosted.slot_digests)
+            return True, (
+                hosted.generation,
+                base_generation,
+                sorted(current - base),
+                sorted(base - current),
+            )
+        return True, None
+
     async def _serve_session(self, stream: ShapedStream) -> None:
         codec = FrameCodec()
         recv = stream.recv_with_timeout(self.io_timeout_s)
@@ -865,11 +1113,7 @@ class CheckpointDaemon:
             await stream.send(codec.encode_result(session.result))
             return
 
-        announce_follows = (
-            session.method.uses_hashes
-            and not session.announce_acked
-            and not hello.body.get("announce_known", False)
-        )
+        announce_follows, delta = self._plan_announce(session, hello.body)
         await stream.send(
             codec.encode_ready(
                 session.round_no, session.applied_in_round, announce_follows, False
@@ -880,10 +1124,36 @@ class CheckpointDaemon:
                 hosted = self.checkpoints.get(session.vm_id)
                 if hosted is not None:
                     hosted.last_used = time.time()
-                digests = hosted.announce_digests() if hosted is not None else []
-                await stream.send(codec.encode_announce(digests))
-                announce_span.set(digests=len(digests))
-                self._count("daemon.announced_digests", len(digests))
+                if delta is not None:
+                    generation, base_generation, added, removed = delta
+                    payload = codec.encode_digest_delta(
+                        generation, base_generation, added, removed
+                    )
+                    full_bytes = codec.wire.announce_frame_bytes(
+                        len(set(hosted.slot_digests))
+                    )
+                    await stream.send(payload)
+                    announce_span.set(
+                        delta=True,
+                        added=len(added),
+                        removed=len(removed),
+                        generation=generation,
+                    )
+                    self._count("daemon.announce.delta")
+                    self._count(
+                        "daemon.announced_digests", len(added) + len(removed)
+                    )
+                    get_registry().histogram(
+                        "manifest.delta_ratio", SCORE_BUCKETS
+                    ).observe(len(payload) / max(1, full_bytes))
+                else:
+                    digests = (
+                        hosted.announce_digests() if hosted is not None else []
+                    )
+                    await stream.send(codec.encode_announce(digests))
+                    announce_span.set(digests=len(digests))
+                    self._count("daemon.announce.full")
+                    self._count("daemon.announced_digests", len(digests))
 
         while True:
             frame = await codec.read_frame(recv)
@@ -906,6 +1176,10 @@ class CheckpointDaemon:
                             )
                         session.apply(page)
                         received += 1
+                        if self._persist is not None:
+                            # Disk pressure becomes socket backpressure
+                            # when the write-behind queue is full.
+                            await self._persist.throttle()
                         if self._should_abort(session):
                             round_span.set(received=received, aborted=True)
                             self._count("daemon.injected_aborts")
@@ -913,14 +1187,24 @@ class CheckpointDaemon:
                             return
                     round_span.set(received=received)
             elif frame.type == TYPE_COMPLETE:
+                if self._persist is not None:
+                    # Everything received must be durably on disk before
+                    # the image is verified and the RESULT acked — the
+                    # write-behind queue changes *when* segment I/O
+                    # happens, never what has happened by this point.
+                    await self._persist.drain()
                 result = session.finish(frame)
                 if result["ok"]:
-                    self._adopt_checkpoint(
+                    adopted = self._adopt_checkpoint(
                         session.vm_id,
                         list(session.slot_digests),
                         algorithm=session.algorithm,
                         page_size=session.page_size,
                     )
+                    # Tell the source which generation its image became,
+                    # so the next migration back can name it and get a
+                    # delta (or skip) instead of the full announce.
+                    result["checkpoint_generation"] = adopted.generation
                 if self.repository is not None:
                     self.repository.save_session(
                         session.session_id,

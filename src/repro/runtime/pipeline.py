@@ -1,0 +1,229 @@
+"""Staged concurrency primitives for the pipelined migration data path.
+
+The serial source pays for its expensive phases in sequence: checksum
+every distinct page, wait for the destination's (shaped) announce
+frame, then encode and send each planned page frame.  The pipelined
+path overlaps them: a :class:`DigestPrefetch` computes per-chunk digest
+tables in a worker thread while the announce is still crossing the
+link, and a :class:`FrameEncoder` encodes the next batch of page
+frames while the previous batch is being paced onto the socket.
+
+Both stages share one shape: a producer task feeding a bounded
+``asyncio.Queue`` (backpressure — a slow consumer stalls the producer
+instead of buffering the whole VM), a sentinel to terminate cleanly,
+and exceptions forwarded *through* the queue so the consumer never
+deadlocks waiting on a dead producer.  Time spent blocked on a
+full/empty queue lands in the shared registry — the
+``pipeline.stage_stall_seconds`` histogram plus a per-stage
+``pipeline.stall.<stage>`` counter — which is the observable answer to
+"which stage is the bottleneck?".
+
+All CPU work (page generation, hashing, frame encoding) is submitted
+to one *single-worker* executor owned by the migration attempt:
+:class:`~repro.mem.pagestore.PageStore`'s LRU caches are plain
+``OrderedDict``s, so serializing every touch through one worker thread
+keeps them consistent, while hashlib still releases the GIL for the
+digesting itself and the event loop keeps draining the socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import Executor
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.checksum import ChecksumAlgorithm
+from repro.mem.pagestore import PageStore
+from repro.obs import metrics as obs_metrics
+
+_DONE = object()
+"""Queue sentinel: the producer finished cleanly."""
+
+
+class _Failure:
+    """Queue envelope carrying the producer's exception to the consumer."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+def _observe_stall(stage: str, seconds: float) -> None:
+    registry = obs_metrics.get_registry()
+    registry.histogram(
+        "pipeline.stage_stall_seconds", obs_metrics.STALL_SECONDS_BUCKETS
+    ).observe(seconds)
+    registry.counter(f"pipeline.stall.{stage}").add()
+
+
+async def _put_stalled(queue: "asyncio.Queue", item, stage: str) -> None:
+    """``queue.put`` that records how long the producer stage stalled."""
+    try:
+        queue.put_nowait(item)
+    except asyncio.QueueFull:
+        started = time.perf_counter()
+        await queue.put(item)
+        _observe_stall(stage, time.perf_counter() - started)
+
+
+async def _get_stalled(queue: "asyncio.Queue", stage: str):
+    """``queue.get`` that records how long the consumer stage stalled."""
+    try:
+        return queue.get_nowait()
+    except asyncio.QueueEmpty:
+        started = time.perf_counter()
+        item = await queue.get()
+        _observe_stall(stage, time.perf_counter() - started)
+        return item
+
+
+class _Stage:
+    """A producer task behind a bounded queue, with clean teardown.
+
+    Subclasses implement :meth:`_produce` (awaiting
+    :meth:`_emit` per item); consumers iterate :meth:`items` and call
+    :meth:`close` in a ``finally`` so a failed consumer (a dropped
+    connection mid-round) cancels the producer instead of leaking it.
+    """
+
+    stage_name = "stage"
+    consumer_name = "stage"
+
+    def __init__(self, depth: int) -> None:
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=max(int(depth), 1))
+        self._task: Optional[asyncio.Task] = None
+
+    def start(self) -> "_Stage":
+        """Spawn the producer task; returns self for chaining."""
+        self._task = asyncio.get_running_loop().create_task(self._guarded())
+        return self
+
+    async def _guarded(self) -> None:
+        try:
+            await self._produce()
+            await _put_stalled(self._queue, _DONE, self.stage_name)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            # Forward instead of raising into the void: the consumer is
+            # (or will be) blocked on the queue and must see the failure.
+            await self._queue.put(_Failure(exc))
+
+    async def _emit(self, item) -> None:
+        await _put_stalled(self._queue, item, self.stage_name)
+
+    async def _produce(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    async def items(self):
+        """Yield produced items; re-raises the producer's exception."""
+        while True:
+            item = await _get_stalled(self._queue, self.consumer_name)
+            if item is _DONE:
+                return
+            if isinstance(item, _Failure):
+                raise item.error
+            yield item
+
+    async def close(self) -> None:
+        """Cancel the producer and wait for it to unwind (idempotent)."""
+        if self._task is None:
+            return
+        task, self._task = self._task, None
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+
+
+class DigestPrefetch(_Stage):
+    """Chunked digest tables computed ahead of the first-round planner.
+
+    Started right after HELLO goes out: while the destination's shaped
+    announce is still in flight, the worker thread is already hashing
+    the VM's distinct contents chunk by chunk.  The planner then
+    consumes ``(stop, table)`` pairs in ascending slot order — the
+    order :class:`~repro.runtime.planner.FirstRoundPlanner` needs for
+    its dedup targets to match the one-shot planner exactly.
+    """
+
+    stage_name = "digest"
+    consumer_name = "plan"
+
+    def __init__(
+        self,
+        pagestore: PageStore,
+        algorithm: ChecksumAlgorithm,
+        hashes: np.ndarray,
+        chunk_pages: int,
+        depth: int,
+        executor: Executor,
+    ) -> None:
+        super().__init__(depth)
+        self._pagestore = pagestore
+        self._algorithm = algorithm
+        self._hashes = np.asarray(hashes, dtype=np.uint64)
+        self._chunk_pages = max(int(chunk_pages), 1)
+        self._executor = executor
+
+    async def _produce(self) -> None:
+        loop = asyncio.get_running_loop()
+        n = int(self._hashes.shape[0])
+        for start in range(0, n, self._chunk_pages):
+            stop = min(start + self._chunk_pages, n)
+            chunk = self._hashes[start:stop]
+            table = await loop.run_in_executor(
+                self._executor, self._digest_chunk, chunk
+            )
+            await self._emit((stop, table))
+
+    def _digest_chunk(self, chunk: np.ndarray) -> Dict[int, bytes]:
+        uniq = np.unique(chunk)
+        digests = self._pagestore.digests_for(uniq, self._algorithm)
+        return dict(zip(uniq.tolist(), digests))
+
+
+class FrameEncoder(_Stage):
+    """Encodes planned sends into wire frames ahead of the sender.
+
+    Yields ``(first_index, sends, frames)`` batches: the sender stage
+    does the byte accounting and the (paced) socket writes while the
+    worker thread already materializes and encodes the next batch's
+    pages — encode CPU hides under shaping sleeps and socket flushes.
+    """
+
+    stage_name = "encode"
+    consumer_name = "send"
+
+    def __init__(
+        self,
+        encode: Callable[[object], bytes],
+        sends: Sequence,
+        first_index: int,
+        chunk_sends: int,
+        depth: int,
+        executor: Executor,
+    ) -> None:
+        super().__init__(depth)
+        self._encode = encode
+        self._sends = sends
+        self._first_index = int(first_index)
+        self._chunk_sends = max(int(chunk_sends), 1)
+        self._executor = executor
+
+    async def _produce(self) -> None:
+        loop = asyncio.get_running_loop()
+        for offset in range(0, len(self._sends), self._chunk_sends):
+            batch = self._sends[offset : offset + self._chunk_sends]
+            frames = await loop.run_in_executor(
+                self._executor, self._encode_batch, batch
+            )
+            await self._emit((self._first_index + offset, batch, frames))
+
+    def _encode_batch(self, batch: Sequence) -> List[bytes]:
+        return [self._encode(send) for send in batch]

@@ -33,7 +33,23 @@ _PACING_QUANTUM_S = 0.005
 """Sleep only once at least this much serialization debt accumulated —
 pacing per 4 KiB frame would drown in event-loop overhead."""
 
+_PACING_CHUNK_BYTES = 16 * 1024
+"""Shaped writes go to the transport in chunks this big, sleeping the
+accumulated debt between chunks.  Writing a large frame in one piece and
+sleeping *afterwards* would let the receiver consume the whole frame
+before any of its serialization delay elapsed — a 64 KiB bulk announce
+would arrive instantly and the sender would then nap, which models
+nothing.  Chunking makes the delay receiver-visible: the peer sees the
+tail of a large frame only after (most of) its modelled wire time."""
+
 _WRITE_BUFFER_LIMIT = 256 * 1024
+
+_RECV_CHUNK_BYTES = 64 * 1024
+"""Socket reads pull up to this much into the stream's receive buffer.
+Frame decoding issues several tiny reads per frame (tag, page number,
+digest); satisfying them from a local buffer costs a few slice
+operations, where per-read ``asyncio.wait_for`` costs a Task each — the
+dominant non-compute cost of applying a round of small frames."""
 
 
 class ShapedStream:
@@ -66,17 +82,31 @@ class ShapedStream:
         self.rx_bytes = 0
         self.modelled_tx_s = 0.0
         self._debt_s = 0.0
+        self._rx_buf = bytearray()
         try:
             writer.transport.set_write_buffer_limits(high=_WRITE_BUFFER_LIMIT)
         except (AttributeError, NotImplementedError):  # pragma: no cover
             pass
 
     async def send(self, data: bytes) -> None:
-        """Write ``data``, pacing to the link model and draining."""
-        self.writer.write(data)
-        self.tx_bytes += len(data)
-        if self.link is not None:
-            delay = self.link.serialization_delay(len(data))
+        """Write ``data``, pacing to the link model and draining.
+
+        Shaped writes hit the transport in :data:`_PACING_CHUNK_BYTES`
+        pieces with the pacing sleeps interleaved, so a large frame's
+        serialization delay is something the *receiver* experiences,
+        not just a sleep the sender takes after the fact.
+        """
+        if self.link is None:
+            self.writer.write(data)
+            self.tx_bytes += len(data)
+            await self.writer.drain()
+            return
+        view = memoryview(data)
+        for start in range(0, len(view), _PACING_CHUNK_BYTES):
+            chunk = view[start : start + _PACING_CHUNK_BYTES]
+            self.writer.write(bytes(chunk))
+            self.tx_bytes += len(chunk)
+            delay = self.link.serialization_delay(len(chunk))
             self.modelled_tx_s += delay
             self._debt_s += delay
             if self._debt_s >= _PACING_QUANTUM_S:
@@ -85,23 +115,37 @@ class ShapedStream:
                     await asyncio.sleep(owed * self.time_scale)
         await self.writer.drain()
 
-    async def recv(self, num_bytes: int) -> bytes:
-        """Read exactly ``num_bytes`` (raises ``IncompleteReadError`` on EOF)."""
-        data = await self.reader.readexactly(num_bytes)
-        self.rx_bytes += len(data)
+    async def recv(
+        self, num_bytes: int, timeout_s: Optional[float] = None
+    ) -> bytes:
+        """Read exactly ``num_bytes`` (raises ``IncompleteReadError`` on EOF).
+
+        Reads are buffered: the socket is drained in
+        :data:`_RECV_CHUNK_BYTES` gulps and small reads are sliced off
+        the buffer without touching the event loop.  ``timeout_s``
+        bounds each *socket* read — a silent peer still cannot hang a
+        migration, but a read satisfied from the buffer never pays for
+        an ``asyncio.wait_for`` Task.
+        """
+        buf = self._rx_buf
+        while len(buf) < num_bytes:
+            read = self.reader.read(_RECV_CHUNK_BYTES)
+            chunk = await (
+                read if timeout_s is None else asyncio.wait_for(read, timeout_s)
+            )
+            if not chunk:
+                raise asyncio.IncompleteReadError(bytes(buf), num_bytes)
+            buf += chunk
+        data = bytes(memoryview(buf)[:num_bytes])
+        del buf[:num_bytes]
+        self.rx_bytes += num_bytes
         return data
 
     def recv_with_timeout(self, timeout_s: Optional[float]):
-        """A ``recv``-shaped callable enforcing a per-read timeout.
-
-        Frame decoding issues several small reads per frame; the timeout
-        bounds each one, so a silent peer can never hang a migration.
-        """
+        """A ``recv``-shaped callable enforcing a per-socket-read timeout."""
 
         async def recv(num_bytes: int) -> bytes:
-            if timeout_s is None:
-                return await self.recv(num_bytes)
-            return await asyncio.wait_for(self.recv(num_bytes), timeout_s)
+            return await self.recv(num_bytes, timeout_s)
 
         return recv
 

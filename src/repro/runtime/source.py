@@ -22,6 +22,7 @@ from __future__ import annotations
 import asyncio
 import time
 import uuid
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
 
@@ -33,15 +34,19 @@ from repro.net.link import Link
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span as _span
 from repro.runtime.frames import (
+    Frame,
     FrameCodec,
     FrameError,
     TYPE_ANNOUNCE,
+    TYPE_DIGEST_DELTA,
     TYPE_READY,
     TYPE_RESULT,
     expect_frame,
 )
 from repro.runtime.metrics import MigrationMetrics, RoundMetrics
+from repro.runtime.pipeline import DigestPrefetch, FrameEncoder
 from repro.runtime.planner import (
+    FirstRoundPlanner,
     KIND_CHECKSUM,
     KIND_FULL,
     KIND_NAMES,
@@ -146,13 +151,26 @@ class RetryPolicy:
 
 @dataclass(frozen=True)
 class RuntimeConfig:
-    """Knobs shared by source-side runtime operations."""
+    """Knobs shared by source-side runtime operations.
+
+    ``pipelined`` turns on the staged data path: digest computation
+    overlaps the in-flight announce, and frame encoding overlaps the
+    (paced) socket writes.  The wire bytes, protocol sequence, and
+    every :class:`MigrationMetrics` count are identical to the serial
+    path — only wall-clock time changes.  ``pipeline_chunk_pages`` is
+    the digest/encode batch size (the pipelining granularity) and
+    ``pipeline_depth`` bounds each inter-stage queue, so a slow sink
+    backpressures the digest worker instead of buffering the whole VM.
+    """
 
     io_timeout_s: float = 10.0
     connect_timeout_s: float = 5.0
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     time_scale: float = 0.0
     chunk_bytes: int = 64 * 1024
+    pipelined: bool = False
+    pipeline_chunk_pages: int = 2048
+    pipeline_depth: int = 16
 
 
 @dataclass
@@ -170,6 +188,12 @@ class SourceState:
             if this host still remembers it from a previous migration —
             the §3.3 ping-pong shortcut.  When set, HELLO declares the
             announce known and the destination skips sending it.
+        known_remote_generation: The checkpoint *generation* the
+            remembered digest set belongs to (reported in the RESULT of
+            the migration that created it).  Naming it in HELLO lets the
+            destination verify the claim and answer with a DIGEST_DELTA
+            manifest — or the full announce — when the checkpoint moved
+            on, instead of blindly trusting a possibly stale set.
     """
 
     vm_id: str
@@ -177,6 +201,7 @@ class SourceState:
     pagestore: PageStore
     dirty_slots: Optional[np.ndarray] = None
     known_remote_digests: Optional[FrozenSet[bytes]] = None
+    known_remote_generation: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.hashes = np.asarray(self.hashes, dtype=np.uint64)
@@ -211,6 +236,7 @@ class MigrationSource:
         self._feed_done = False
         self._counted: Dict[int, int] = {}
         self._final_result: Optional[dict] = None
+        self.result_generation: Optional[int] = None
 
     # --- planning -------------------------------------------------------
 
@@ -234,6 +260,44 @@ class MigrationSource:
         )
         self._rounds = [self._plan.sends()]
 
+    async def _plan_pipelined(
+        self, announced: FrozenSet[bytes], prefetch: DigestPrefetch
+    ) -> None:
+        """Build the first-round plan chunk-by-chunk from the prefetch.
+
+        Digest tables computed while the announce was still in flight
+        are consumed instantly; the rest overlap the planning work
+        itself.  The resulting plan is identical to the one-shot
+        :func:`~repro.runtime.planner.plan_first_round` — the planner
+        equivalence tests hold the two paths to the same answer.
+        """
+        planner = FirstRoundPlanner(
+            self.strategy.method,
+            self.state.hashes,
+            announced=announced,
+            dirty_slots=self.state.dirty_slots,
+        )
+        async for stop, table in prefetch.items():
+            planner.plan_chunk(stop, table)
+        self._plan = planner.finish()
+        self._rounds = [self._plan.sends()]
+
+    def _apply_digest_delta(
+        self, frame: Frame, known: Optional[FrozenSet[bytes]]
+    ) -> FrozenSet[bytes]:
+        """Reconstruct the announced set from a DIGEST_DELTA manifest."""
+        if known is None:
+            raise FrameError(
+                "destination sent a delta manifest but this source never "
+                "claimed a base checksum set"
+            )
+        removed = frozenset(frame.removed)
+        if not removed <= known:
+            raise FrameError(
+                "delta manifest removes checksums the source never knew"
+            )
+        return (known - removed) | frozenset(frame.digests)
+
     def _ensure_round(self, round_no: int, dirty_feed: Optional[DirtyFeed]) -> bool:
         """Extend the frozen round list up to ``round_no`` if the VM keeps
         dirtying pages; returns False when there is no such round."""
@@ -256,6 +320,18 @@ class MigrationSource:
             for send in sends:
                 final[send.slot] = send.content_id
         return self._digest_many(final)
+
+    def final_digests(self) -> Optional[FrozenSet[bytes]]:
+        """The distinct per-slot checksums of the migrated image.
+
+        What this host should remember about the destination's new
+        checkpoint — paired with :attr:`result_generation` — to earn a
+        verified announce skip or a DIGEST_DELTA manifest on the way
+        back.  None before a first round was ever planned.
+        """
+        if self._plan is None:
+            return None
+        return frozenset(self._final_slot_digests())
 
     # --- the protocol ---------------------------------------------------
 
@@ -381,10 +457,21 @@ class MigrationSource:
                 host, port, link=self.link, time_scale=cfg.time_scale,
                 connect_timeout_s=cfg.connect_timeout_s,
             )
+        executor: Optional[ThreadPoolExecutor] = None
+        prefetch: Optional[DigestPrefetch] = None
+        if cfg.pipelined:
+            # One worker by design: every PageStore touch (digesting,
+            # page materialization, frame encoding) serializes through
+            # this thread, while hashlib releases the GIL and the event
+            # loop keeps the socket moving.
+            executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="vecycle-pipeline"
+            )
         try:
             recv = stream.recv_with_timeout(cfg.io_timeout_s)
             with _span("announce") as announce_span:
-                announce_known = self.state.known_remote_digests is not None
+                known = self.state.known_remote_digests
+                announce_known = known is not None
                 hello = {
                     "session": self.session_id,
                     "vm_id": self.state.vm_id,
@@ -395,9 +482,38 @@ class MigrationSource:
                     "algorithm": self.strategy.checksum.name,
                     "announce_known": announce_known,
                 }
+                if (
+                    announce_known
+                    and self.state.known_remote_generation is not None
+                ):
+                    # Name the exact checkpoint generation we remember:
+                    # the destination verifies the claim and answers
+                    # with a DIGEST_DELTA (or a verified skip) instead
+                    # of trusting a possibly stale digest set.
+                    hello["base_generation"] = int(
+                        self.state.known_remote_generation
+                    )
                 frame = self.codec.encode_hello(hello)
                 await stream.send(frame)
                 metrics.control_bytes += len(frame)
+
+                if (
+                    executor is not None
+                    and self._plan is None
+                    and self.strategy.method.uses_hashes
+                ):
+                    # Start checksumming immediately: the digest worker
+                    # runs while READY and the (shaped) announce are
+                    # still in flight, so hashing cost hides under the
+                    # announce transfer instead of following it.
+                    prefetch = DigestPrefetch(
+                        self.state.pagestore,
+                        self.strategy.checksum,
+                        self.state.hashes,
+                        chunk_pages=cfg.pipeline_chunk_pages,
+                        depth=cfg.pipeline_depth,
+                        executor=executor,
+                    ).start()
 
                 ready = await expect_frame(self.codec, recv, TYPE_READY)
                 metrics.control_bytes += ready.wire_bytes
@@ -409,15 +525,26 @@ class MigrationSource:
                     )
                     return
 
-                announced: FrozenSet[bytes] = frozenset()
-                if announce_known:
-                    announced = self.state.known_remote_digests
+                announced: FrozenSet[bytes] = (
+                    known if announce_known else frozenset()
+                )
                 if ready.announce_follows:
-                    announce = await expect_frame(self.codec, recv, TYPE_ANNOUNCE)
-                    metrics.announce_bytes += announce.wire_bytes
-                    if not announce_known:
-                        announced = frozenset(announce.digests)
-                self._build_first_round(announced)
+                    manifest = await expect_frame(
+                        self.codec, recv, TYPE_ANNOUNCE, TYPE_DIGEST_DELTA
+                    )
+                    metrics.announce_bytes += manifest.wire_bytes
+                    if manifest.type == TYPE_ANNOUNCE:
+                        # A full manifest is authoritative — it replaces
+                        # whatever this host remembered; the destination
+                        # falls back to it exactly when our remembered
+                        # generation cannot be proven current.
+                        announced = frozenset(manifest.digests)
+                    else:
+                        announced = self._apply_digest_delta(manifest, known)
+                if self._plan is None and prefetch is not None:
+                    await self._plan_pipelined(announced, prefetch)
+                else:
+                    self._build_first_round(announced)
                 announce_span.set(
                     known=announce_known,
                     announce_bytes=metrics.announce_bytes,
@@ -427,6 +554,7 @@ class MigrationSource:
                 stream, metrics, dirty_feed,
                 resume_round=max(int(ready.round_no), 1),
                 resume_applied=int(ready.applied),
+                executor=executor,
             )
 
             with _span("complete"):
@@ -442,6 +570,10 @@ class MigrationSource:
                     await expect_frame(self.codec, recv, TYPE_RESULT), metrics
                 )
         finally:
+            if prefetch is not None:
+                await prefetch.close()
+            if executor is not None:
+                executor.shutdown(wait=True, cancel_futures=True)
             with _span("close"):
                 metrics.modelled_time_s += stream.modelled_tx_s
                 await stream.close()
@@ -453,6 +585,7 @@ class MigrationSource:
         dirty_feed: Optional[DirtyFeed],
         resume_round: int,
         resume_applied: int,
+        executor: Optional[ThreadPoolExecutor] = None,
     ) -> None:
         cfg = self.config
         round_no = resume_round
@@ -479,16 +612,36 @@ class MigrationSource:
                 round_started = time.monotonic()
                 round_stats = RoundMetrics(round_no=round_no)
                 counted = self._counted.get(round_no, 0)
-                for index, send in enumerate(remaining, start=skip):
-                    frame = self._encode_send(send)
-                    if index < counted:
-                        metrics.retransmitted_bytes += len(frame)
-                    else:
-                        metrics.count(KIND_NAMES[send.kind], len(frame))
-                        round_stats.messages += 1
-                        round_stats.bytes_sent += len(frame)
-                        self._counted[round_no] = index + 1
-                    await writer.add(frame)
+                if executor is not None:
+                    # Pipelined: the worker thread encodes the next
+                    # batch while this coroutine accounts and sends the
+                    # previous one.  Identical frames, identical order,
+                    # identical accounting — only the overlap is new.
+                    encoder = FrameEncoder(
+                        self._encode_send, remaining, skip,
+                        chunk_sends=cfg.pipeline_chunk_pages,
+                        depth=cfg.pipeline_depth,
+                        executor=executor,
+                    ).start()
+                    try:
+                        async for first_index, batch, frames in encoder.items():
+                            for offset, frame in enumerate(frames):
+                                self._account(
+                                    metrics, round_stats, round_no,
+                                    first_index + offset, counted,
+                                    batch[offset].kind, len(frame),
+                                )
+                                await writer.add(frame)
+                    finally:
+                        await encoder.close()
+                else:
+                    for index, send in enumerate(remaining, start=skip):
+                        frame = self._encode_send(send)
+                        self._account(
+                            metrics, round_stats, round_no, index, counted,
+                            send.kind, len(frame),
+                        )
+                        await writer.add(frame)
                 await writer.flush()
                 round_stats.duration_s = time.monotonic() - round_started
                 if round_stats.messages:
@@ -499,6 +652,31 @@ class MigrationSource:
                     resumed_at=skip,
                 )
             round_no += 1
+
+    def _account(
+        self,
+        metrics: MigrationMetrics,
+        round_stats: RoundMetrics,
+        round_no: int,
+        index: int,
+        counted: int,
+        kind: int,
+        frame_len: int,
+    ) -> None:
+        """Byte accounting for one page frame, shared by both data paths.
+
+        A frame whose round-index a previous attempt already counted is
+        a retransmission; everything else is first-time payload.
+        ``self._counted`` survives reconnects, so a frame is never
+        counted as payload twice no matter how the stream is resumed.
+        """
+        if index < counted:
+            metrics.retransmitted_bytes += frame_len
+        else:
+            metrics.count(KIND_NAMES[kind], frame_len)
+            round_stats.messages += 1
+            round_stats.bytes_sent += frame_len
+            self._counted[round_no] = index + 1
 
     def _encode_send(self, send: PageSend) -> bytes:
         store = self.state.pagestore
@@ -524,6 +702,9 @@ class MigrationSource:
         metrics.control_bytes += frame.wire_bytes
         body = frame.body or {}
         self._final_result = body
+        generation = body.get("checkpoint_generation")
+        if generation is not None:
+            self.result_generation = int(generation)
         metrics.sink_stats = {
             "reused_in_place": body.get("reused_in_place", 0),
             "reused_from_store": body.get("reused_from_store", 0),

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.parallel import ENV_WORKERS, pmap, resolve_workers, shard_seed
+import repro.parallel.pool as pool_module
+from repro.parallel import (
+    ENV_WORKERS,
+    MIN_PARALLEL_SHARDS,
+    pmap,
+    resolve_workers,
+    shard_seed,
+)
 
 
 def _square(x):
@@ -103,4 +110,73 @@ class TestPmap:
 
     def test_invalid_chunk_size(self):
         with pytest.raises(ValueError):
-            pmap(_square, [1, 2, 3], workers=2, chunk_size=0)
+            pmap(_square, [1, 2, 3, 4, 5], workers=2, chunk_size=0)
+
+
+class _RecordingExecutor:
+    """Stands in for ProcessPoolExecutor: records max_workers, runs inline."""
+
+    created = []
+
+    def __init__(self, max_workers, initializer=None):
+        type(self).created.append(max_workers)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def submit(self, fn, *args):
+        class _Done:
+            def __init__(self, value):
+                self._value = value
+
+            def result(self):
+                return self._value
+
+        return _Done(fn(*args))
+
+
+class TestWorkerAutoSizing:
+    """Regression tests for the fig8 parallel slowdown (0.92× speedup):
+    requesting more workers than cores must not oversubscribe, and tiny
+    workloads must not pay process-pool startup at all."""
+
+    @pytest.fixture(autouse=True)
+    def _record_pool(self, monkeypatch):
+        _RecordingExecutor.created = []
+        monkeypatch.setattr(
+            pool_module, "ProcessPoolExecutor", _RecordingExecutor
+        )
+
+    def test_workers_clamped_to_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 2)
+        items = list(range(40))
+        assert pmap(_square, items, workers=8) == [x * x for x in items]
+        assert _RecordingExecutor.created == [2]
+
+    def test_env_workers_also_clamped(self, monkeypatch):
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 3)
+        monkeypatch.setenv(ENV_WORKERS, "16")
+        items = list(range(40))
+        assert pmap(_square, items) == [x * x for x in items]
+        assert _RecordingExecutor.created == [3]
+
+    def test_small_workloads_run_inline(self, monkeypatch):
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 8)
+        items = list(range(MIN_PARALLEL_SHARDS - 1))
+        assert pmap(_square, items, workers=8) == [x * x for x in items]
+        assert _RecordingExecutor.created == []
+
+    def test_threshold_boundary_uses_the_pool(self, monkeypatch):
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 8)
+        items = list(range(MIN_PARALLEL_SHARDS))
+        assert pmap(_square, items, workers=8) == [x * x for x in items]
+        assert len(_RecordingExecutor.created) == 1
+
+    def test_cpu_count_none_degrades_to_serial(self, monkeypatch):
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: None)
+        items = list(range(20))
+        assert pmap(_square, items, workers=4) == [x * x for x in items]
+        assert _RecordingExecutor.created == []

@@ -83,3 +83,59 @@ class TestBatchWriter:
         run(scenario())
         # Degenerate limit still sends every frame rather than dividing by zero.
         assert stream.sends == [b"x"]
+
+
+class DroppingStream:
+    """Stream whose first ``fail_sends`` sends die mid-flush."""
+
+    def __init__(self, fail_sends=1):
+        self.sends = []
+        self._failures_left = fail_sends
+
+    async def send(self, data: bytes) -> None:
+        if self._failures_left > 0:
+            self._failures_left -= 1
+            raise ConnectionResetError("peer vanished mid-flush")
+        self.sends.append(bytes(data))
+
+
+class TestMidFlushDisconnect:
+    def test_failed_flush_keeps_frames_queued(self):
+        stream = DroppingStream(fail_sends=1)
+        writer = _BatchWriter(stream, limit=1000)
+
+        async def scenario():
+            await writer.add(b"frame-1")
+            await writer.add(b"frame-2")
+            try:
+                await writer.flush()
+            except ConnectionResetError:
+                pass
+            # Nothing reached the wire, nothing was dropped: the batch is
+            # still pending and the flush was not counted as delivered.
+            assert stream.sends == []
+            assert writer.pending_bytes == len(b"frame-1frame-2")
+            assert writer.flushes == 0
+            # The retry after reconnect delivers the frames exactly once.
+            await writer.flush()
+
+        run(scenario())
+        assert stream.sends == [b"frame-1frame-2"]
+        assert writer.flushes == 1
+
+    def test_disconnect_during_limit_triggered_flush(self):
+        stream = DroppingStream(fail_sends=1)
+        writer = _BatchWriter(stream, limit=8)
+
+        async def scenario():
+            await writer.add(b"1111")
+            try:
+                await writer.add(b"2222")  # hits the limit, flush dies
+            except ConnectionResetError:
+                pass
+            assert writer.pending_bytes == 8
+            await writer.add(b"3333")  # retries the whole batch
+
+        run(scenario())
+        assert stream.sends == [b"111122223333"]
+        assert writer.flushes == 1

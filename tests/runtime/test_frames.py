@@ -1,17 +1,20 @@
 """Unit tests for the runtime frame codec."""
 
 import asyncio
+import struct
 
 import pytest
 
 from repro.core.checksum import get_algorithm
 from repro.core.protocol import ANNOUNCE_FRAME_OVERHEAD, WireFormat
 from repro.runtime.frames import (
+    DIGEST_DELTA_OVERHEAD,
     Frame,
     FrameCodec,
     FrameError,
     TYPE_ANNOUNCE,
     TYPE_COMPLETE,
+    TYPE_DIGEST_DELTA,
     TYPE_ERROR,
     TYPE_HELLO,
     TYPE_PAGE_CHECKSUM,
@@ -220,5 +223,84 @@ class TestErrors:
     def test_truncated_telemetry_mid_body(self):
         codec = FrameCodec(WIRE)
         complete = codec.encode_telemetry({"host": "a", "seq": 1})
+        with pytest.raises(asyncio.IncompleteReadError):
+            roundtrip(codec, complete[:-3])
+
+
+class TestDigestDelta:
+    """DIGEST_DELTA: the O(churn) announce for a named base generation."""
+
+    def _digests(self, start, count):
+        return [bytes([start + i]) * 16 for i in range(count)]
+
+    def test_roundtrip(self):
+        codec = FrameCodec(WIRE)
+        added = self._digests(0, 3)
+        removed = self._digests(10, 2)
+        frame = roundtrip(codec, codec.encode_digest_delta(5, 2, added, removed))
+        assert frame.type == TYPE_DIGEST_DELTA
+        assert frame.generation == 5
+        assert frame.base_generation == 2
+        assert list(frame.digests) == added
+        assert list(frame.removed) == removed
+        assert frame.count == 3
+
+    def test_wire_bytes_match_layout(self):
+        codec = FrameCodec(WIRE)
+        added, removed = self._digests(0, 4), self._digests(8, 1)
+        encoded = codec.encode_digest_delta(2, 1, added, removed)
+        assert len(encoded) == DIGEST_DELTA_OVERHEAD + 5 * WIRE.checksum_bytes
+        assert roundtrip(codec, encoded).wire_bytes == len(encoded)
+
+    def test_empty_delta_is_valid(self):
+        # A generation can advance without changing the distinct digest
+        # set (e.g. slots shuffled between duplicates).
+        codec = FrameCodec(WIRE)
+        frame = roundtrip(codec, codec.encode_digest_delta(7, 6, [], []))
+        assert frame.digests == ()
+        assert frame.removed == ()
+
+    def test_expect_frame_accepts_announce_or_delta(self):
+        codec = FrameCodec(WIRE)
+        encoded = codec.encode_digest_delta(3, 1, self._digests(0, 1), [])
+        frame = asyncio.run(expect_frame(
+            codec, reader_for(encoded), TYPE_ANNOUNCE, TYPE_DIGEST_DELTA
+        ))
+        assert frame.type == TYPE_DIGEST_DELTA
+
+    def test_encode_rejects_non_newer_generation(self):
+        codec = FrameCodec(WIRE)
+        for generation, base in ((2, 2), (1, 2), (0, 0)):
+            with pytest.raises(FrameError, match="not newer"):
+                codec.encode_digest_delta(generation, base, [], [])
+
+    def test_decode_rejects_non_newer_generation(self):
+        # Crafted on the wire (the encoder refuses to produce this).
+        codec = FrameCodec(WIRE)
+        blob = bytes((TYPE_DIGEST_DELTA,)) + struct.pack(">IIII", 2, 2, 0, 0)
+        with pytest.raises(FrameError, match="not newer"):
+            roundtrip(codec, blob)
+
+    def test_decode_rejects_oversized_slot_list(self):
+        codec = FrameCodec(WIRE)
+        huge = (1 << 27) + 1
+        blob = bytes((TYPE_DIGEST_DELTA,)) + struct.pack(
+            ">IIII", 9, 1, huge, huge
+        )
+        with pytest.raises(FrameError, match="exceeds limit"):
+            roundtrip(codec, blob)
+
+    def test_truncated_mid_header(self):
+        # Peer died after the tag and half the generation field.
+        codec = FrameCodec(WIRE)
+        blob = bytes((TYPE_DIGEST_DELTA,)) + b"\x00\x00"
+        with pytest.raises(asyncio.IncompleteReadError):
+            roundtrip(codec, blob)
+
+    def test_truncated_mid_body(self):
+        codec = FrameCodec(WIRE)
+        complete = codec.encode_digest_delta(
+            4, 2, self._digests(0, 2), self._digests(5, 2)
+        )
         with pytest.raises(asyncio.IncompleteReadError):
             roundtrip(codec, complete[:-3])
