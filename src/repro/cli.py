@@ -17,6 +17,7 @@ Usage::
     vecycle postcopy --size-mib 1024 --link wan-cloudnet
     vecycle orchestrate [--hosts 3] [--migrations 6] [--policy best-checkpoint]
     vecycle orchestrate --metrics-port 9100 --metrics-linger 30
+    vecycle chaos [--seed 0 | --seeds 1,2,3] [--migrations 8] [--json]
     vecycle top --url http://127.0.0.1:9100 [--interval 2]
     vecycle top --connect 127.0.0.1:5001,127.0.0.1:5002
     vecycle consolidate [--vms 8] [--days 3]
@@ -190,6 +191,41 @@ def _cmd_orchestrate(args: argparse.Namespace) -> str:
         metrics_linger_s=args.metrics_linger,
     )
     return live_cluster.format_table(result)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> str:
+    """Deterministic chaos soak over live localhost daemons."""
+    import json
+    from pathlib import Path
+
+    from repro.experiments import chaos_soak
+
+    if args.seeds:
+        seeds = [int(part) for part in args.seeds.split(",") if part.strip()]
+    else:
+        seeds = [args.seed]
+    schedule_json = None
+    if args.schedule_json:
+        schedule_json = Path(args.schedule_json).read_text("utf-8")
+    reports = chaos_soak.run(
+        seeds=seeds,
+        migrations=args.migrations,
+        hosts=args.hosts,
+        num_pages=args.pages,
+        vdi=args.vdi,
+        days=args.days,
+        intensity=args.intensity,
+        policy=args.policy,
+        state_root=Path(args.state_dir) if args.state_dir else None,
+        schedule_json=schedule_json,
+    )
+    if args.as_json:
+        return json.dumps([report.to_dict() for report in reports], indent=1)
+    output = chaos_soak.format_table(reports)
+    if any(not report.ok for report in reports):
+        print(output, file=sys.stderr)
+        raise SystemExit(1)
+    return output
 
 
 def _cmd_top(args: argparse.Namespace) -> str:
@@ -715,6 +751,45 @@ def build_parser() -> argparse.ArgumentParser:
                       "the last migration (for external scrapers)")
     porc.add_argument("--seed", type=int, default=99)
     porc.set_defaults(func=_cmd_orchestrate)
+
+    pchaos = add_parser(
+        "chaos",
+        help="deterministic chaos soak: replay a live migration "
+        "schedule under a seeded fault schedule and assert cluster "
+        "invariants after every round",
+    )
+    pchaos.add_argument("--seed", type=int, default=0,
+                        help="fault-schedule seed (one soak)")
+    pchaos.add_argument("--seeds", default=None, metavar="N,N,..",
+                        help="comma-separated seed sweep (overrides --seed)")
+    pchaos.add_argument("--migrations", type=int, default=8,
+                        help="ping-pong rounds per seed")
+    pchaos.add_argument("--hosts", type=int, default=3,
+                        help="daemons to boot")
+    pchaos.add_argument("--pages", type=int, default=128,
+                        help="VM image size in pages")
+    pchaos.add_argument("--intensity", type=float, default=0.8,
+                        help="fraction of rounds that get a fault")
+    pchaos.add_argument("--vdi", action="store_true",
+                        help="replay the Figure-8 VDI weekday schedule "
+                        "instead of the ping-pong")
+    pchaos.add_argument("--days", type=int, default=3,
+                        help="VDI schedule length in trace days")
+    pchaos.add_argument(
+        "--policy", default="best-checkpoint",
+        choices=available_policies(),
+        help="placement policy steering each migration",
+    )
+    pchaos.add_argument("--state-dir", default=None, metavar="DIR",
+                        help="root directory for per-daemon durable state "
+                        "(temp dir, cleaned up, when omitted)")
+    pchaos.add_argument("--schedule-json", default=None, metavar="FILE",
+                        help="replay a committed FaultSchedule JSON file "
+                        "instead of generating one from the seed")
+    pchaos.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the machine-readable reports instead "
+                        "of the table")
+    pchaos.set_defaults(func=_cmd_chaos)
 
     ptop = add_parser(
         "top",

@@ -31,19 +31,34 @@ from repro.obs.log import get_logger
 from repro.obs.metrics import ROUND_SECONDS_BUCKETS, get_registry as _metrics
 from repro.obs.trace import span as _span
 from repro.runtime.metrics import MigrationMetrics
-from repro.runtime.source import DirtyFeed, MigrationError, MigrationSource
+from repro.runtime.source import (
+    DirtyFeed,
+    MigrationError,
+    MigrationSource,
+    RetryPolicy,
+)
 
 log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
 class AdmissionLimits:
-    """Concurrency caps enforced by the executor."""
+    """Concurrency caps enforced by the executor.
+
+    Retry sleeps follow the same capped-exponential-with-jitter curve
+    as the source's :class:`~repro.runtime.source.RetryPolicy` (one
+    formula for the whole stack, not a second ad-hoc one):
+    ``retry_backoff_s * 2**n`` capped at ``max_backoff_s``, jittered
+    deterministically per VM so a burst of failures does not retry in
+    lockstep.
+    """
 
     cluster_max: int = 4
     per_host_max: int = 2
     max_attempts: int = 2
     retry_backoff_s: float = 0.05
+    max_backoff_s: float = 2.0
+    retry_jitter: float = 0.25
 
     def __post_init__(self) -> None:
         if self.cluster_max < 1:
@@ -52,6 +67,16 @@ class AdmissionLimits:
             raise ValueError(f"per_host_max must be >= 1, got {self.per_host_max}")
         if self.max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def retry_policy(self) -> RetryPolicy:
+        """The executor's outer retry curve as a shared RetryPolicy."""
+        return RetryPolicy(
+            max_attempts=self.max_attempts,
+            base_backoff_s=self.retry_backoff_s,
+            backoff_factor=2.0,
+            max_backoff_s=self.max_backoff_s,
+            jitter=self.retry_jitter,
+        )
 
 
 @dataclass
@@ -171,6 +196,7 @@ class MigrationExecutor:
         dirty_feed: Optional[DirtyFeed],
     ) -> MigrationOutcome:
         attempts = 0
+        policy = self.limits.retry_policy()
         while True:
             attempts += 1
             try:
@@ -193,17 +219,35 @@ class MigrationExecutor:
                     checkpoint_generation=generation,
                 )
             except MigrationError as exc:
-                retryable = exc.code == "transport"
+                # Transport exhaustion is always worth one more outer
+                # attempt (the daemon may have merely restarted).  A
+                # protocol error is terminal *except* when the source
+                # marked it retryable — a stream desync from a frame
+                # truncated by the connection tearing, where a fresh
+                # session recovers.  getattr: older MigrationError
+                # pickles and test fakes lack the attribute.
+                retryable = exc.code == "transport" or getattr(
+                    exc, "retryable", False
+                )
                 if retryable and attempts < self.limits.max_attempts:
+                    if exc.code != "transport":
+                        # The desynced session's applied counts cannot
+                        # be resumed; restart with a clean session id.
+                        reset = getattr(source, "reset_session", None)
+                        if reset is not None:
+                            reset()
                     _metrics().counter("orchestrator.migrations.retried").add(1)
                     log.warning(
                         "migration attempt failed; retrying",
                         vm=source.state.vm_id,
                         destination=destination,
                         attempt=attempts,
+                        code=exc.code,
                         cause=exc.detail,
                     )
-                    await asyncio.sleep(self.limits.retry_backoff_s * attempts)
+                    await asyncio.sleep(
+                        policy.backoff(attempts - 1, key=source.state.vm_id)
+                    )
                     continue
                 log.error(
                     "migration failed",

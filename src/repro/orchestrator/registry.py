@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.obs.log import get_logger
 from repro.obs.metrics import get_registry as _metrics
@@ -73,6 +73,10 @@ class ClusterRegistry:
         self.sketch_k = sketch_k
         self._records: Dict[str, HostRecord] = {}
         self._seq = 0
+        self.probe_fault: Optional[Callable[[str], bool]] = None
+        """Fault point for the :mod:`repro.chaos` plane: called with the
+        host name before each heartbeat; returning True drops the probe
+        (the host looks dead until a later poll revives it)."""
 
     # --- membership -----------------------------------------------------
 
@@ -136,6 +140,8 @@ class ClusterRegistry:
             return record
 
     async def _probe(self, record: HostRecord) -> HostInventory:
+        if self.probe_fault is not None and self.probe_fault(record.name):
+            raise ConnectionError(f"heartbeat to {record.name} dropped (injected)")
         codec = FrameCodec()
         stream = await open_shaped_connection(
             record.host,

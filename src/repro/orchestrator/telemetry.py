@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import collections
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs.log import get_logger
 from repro.obs.metrics import get_registry as _metrics
@@ -91,6 +91,10 @@ class TelemetryAggregator:
         self.seq_gaps = 0
         self.labels_folded = 0
         self.poll_seconds = 0.0
+        self.probe_fault: Optional[Callable[[str], bool]] = None
+        """Fault point for the :mod:`repro.chaos` plane: called with the
+        host name before each probe; returning True drops the poll (a
+        failure is counted, accumulated history is untouched)."""
 
     # --- polling --------------------------------------------------------
 
@@ -107,6 +111,10 @@ class TelemetryAggregator:
         self.polls += 1
         with _span("orchestrator.telemetry", host=name) as probe_span:
             try:
+                if self.probe_fault is not None and self.probe_fault(name):
+                    raise ConnectionError(
+                        f"telemetry poll of {name} dropped (injected)"
+                    )
                 snapshot = await self._probe(record.host, record.port)
             except (FrameError, *_TRANSPORT_ERRORS) as exc:
                 self.poll_failures += 1

@@ -36,7 +36,7 @@ import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Deque, Dict, FrozenSet, List, Optional, Tuple
+from typing import Deque, Dict, FrozenSet, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -57,6 +57,7 @@ from repro.runtime.frames import (
     Frame,
     FrameCodec,
     FrameError,
+    StreamDesyncError,
     TYPE_COMPLETE,
     TYPE_HEARTBEAT,
     TYPE_HELLO,
@@ -309,6 +310,11 @@ class _SinkSession:
             "reused_in_place": self.reused_in_place,
             "reused_from_store": self.reused_from_store,
             "unique_contents": len(set(self.slot_digests)),
+            # What the sink counted into daemon.transferred_bytes for
+            # this session — echoed to the source so cluster telemetry
+            # rollups can be reconciled against per-migration metrics
+            # exactly, even under fault injection.
+            "rx_payload_bytes": self.rx_payload_bytes,
             "rounds": self.round_no,
             "error": None
             if ok
@@ -476,16 +482,33 @@ class _WriteBehind:
 
 @dataclass
 class _FaultPlan:
-    """Test hook: abort the connection at a chosen protocol point.
+    """Fault hook: disturb the protocol at a chosen point.
 
     ``mid_result`` aborts while the RESULT frame is on the wire (the
     session is already completed and persisted); otherwise the abort
-    happens after ``after_messages`` total applied data frames.
+    happens after ``after_messages`` total applied data frames.  The
+    remaining knobs are the daemon-side vocabulary of the
+    :mod:`repro.chaos` fault plane; each has its own occurrence budget
+    so one plan can compose several fault kinds.  Every knob is
+    deterministic — no randomness, so runs are seed-stable.
     """
 
-    after_messages: int
-    times: int
+    after_messages: int = 0
+    times: int = 0
     mid_result: bool = False
+    stall_ready_s: float = 0.0
+    """Sleep this long before sending READY — chosen just over the
+    source's ``io_timeout_s`` it looks like a dead peer (transport
+    retry), just under it models a slow link that must NOT fail."""
+    stall_times: int = 0
+    truncate_ready_bytes: int = 0
+    """Send READY short by this many bytes and *keep talking* on the
+    live connection: the source desyncs mid-stream instead of seeing a
+    clean EOF — the fault that distinguishes a retryable desync from a
+    genuine codec violation."""
+    truncate_times: int = 0
+    drop_telemetry_times: int = 0
+    """Abort this many TELEMETRY probes instead of answering them."""
 
 
 class CheckpointDaemon:
@@ -553,6 +576,7 @@ class CheckpointDaemon:
         self._delta_history: Dict[str, "OrderedDict[int, FrozenSet[bytes]]"] = {}
         self._sessions: "OrderedDict[str, _SinkSession]" = OrderedDict()
         self._server: Optional[asyncio.AbstractServer] = None
+        self._handlers: Set[asyncio.Task] = set()
         self._fault: Optional[_FaultPlan] = None
         self.host: Optional[str] = None
         self.port: Optional[int] = None
@@ -631,11 +655,22 @@ class CheckpointDaemon:
         return self.host, self.port
 
     async def stop(self) -> None:
-        """Stop listening and drop connection handlers."""
+        """Stop listening and drop connection handlers.
+
+        Handlers still serving a connection (or sleeping in an injected
+        stall) are cancelled and awaited, so a stopped daemon leaves no
+        task behind to spill a ``CancelledError`` into the event loop's
+        exception handler after the fact.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._handlers:
+            for task in list(self._handlers):
+                task.cancel()
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+            self._handlers.clear()
         if self.metrics_server is not None:
             self.metrics_server.stop()
             self.metrics_server = None
@@ -721,6 +756,21 @@ class CheckpointDaemon:
         while len(history) > _MAX_DELTA_HISTORY:
             history.popitem(last=False)
         if self.repository is not None:
+            # A verify() scrub may have quarantined segments this image
+            # still references (the resident copy arrived in an earlier
+            # session and was spilled long ago — the write-behind queue
+            # only carries *new* content).  commit_checkpoint refuses to
+            # commit a manifest referencing missing segments, so re-spill
+            # anything we still hold resident before committing; content
+            # resident nowhere stays missing and the commit raises, which
+            # is correct — the daemon genuinely lost it.
+            for digest in set(hosted.slot_digests):
+                if self.repository.has_segment(digest):
+                    continue
+                page = self.store.get(digest)
+                if page is not None:
+                    self.repository.put_page(digest, page)
+                    self._count("daemon.respilled_segments")
             self.repository.commit_checkpoint(
                 CheckpointManifest(
                     vm_id=vm_id,
@@ -746,10 +796,56 @@ class CheckpointDaemon:
         hosted = self.checkpoints.pop(vm_id, None)
         if hosted is None:
             return 0
+        # The delta history must not outlive the checkpoint: a later
+        # DIGEST_DELTA computed against a dropped generation would
+        # describe state this daemon no longer hosts.  The *generation
+        # counter* deliberately survives — restarting at 1 after a
+        # re-adoption would let a stale source claim an old generation
+        # number against a different digest set and earn a bogus
+        # verified skip.
+        self._delta_history.pop(vm_id, None)
         freed = self.store.release_many(hosted.slot_digests)
         if self.repository is not None:
-            freed = self.repository.delete_checkpoint(vm_id)
+            # Resident and durable bytes are distinct pools; reclaiming
+            # the checkpoint frees both, so report both.
+            freed += self.repository.delete_checkpoint(vm_id)
         return freed
+
+    def audit_store(self) -> List[str]:
+        """Cross-check content-store refcounts against their owners.
+
+        Every reference in the store must be explainable by exactly one
+        owner slot: a hosted checkpoint's slot or a non-retired
+        session's slot.  A digest with more references than owners is a
+        leak (stored bytes that can never be reclaimed); fewer is a
+        double release (bytes that may vanish under a live owner).
+        Returns human-readable violation strings, empty when clean —
+        the content-store invariant of the :mod:`repro.chaos` plane.
+        """
+        expected: Dict[bytes, int] = {}
+        for hosted in self.checkpoints.values():
+            for digest in hosted.slot_digests:
+                expected[digest] = expected.get(digest, 0) + 1
+        for session in self._sessions.values():
+            for digest in session.slot_digests:
+                if digest is not None:
+                    expected[digest] = expected.get(digest, 0) + 1
+        actual = {d: n for d, n in self.store.refcounts().items() if n > 0}
+        violations = []
+        for digest, count in sorted(expected.items()):
+            have = actual.pop(digest, 0)
+            if have != count:
+                kind = "leak" if have > count else "double-release"
+                violations.append(
+                    f"{self.name}: {kind} on {digest.hex()[:12]}: "
+                    f"{have} refs for {count} owner slot(s)"
+                )
+        for digest, have in sorted(actual.items()):
+            violations.append(
+                f"{self.name}: leak on {digest.hex()[:12]}: "
+                f"{have} refs with no owner"
+            )
+        return violations
 
     def checkpoint_digests(self, vm_id: str) -> Optional[frozenset]:
         """Distinct checksums of the hosted checkpoint (ping-pong state)."""
@@ -871,6 +967,14 @@ class CheckpointDaemon:
             after_messages=after_messages, times=times, mid_result=mid_result
         )
 
+    def install_fault_plan(self, plan: Optional[_FaultPlan]) -> None:
+        """Install (or clear, with None) the daemon-side fault plan.
+
+        The unified entry point the :mod:`repro.chaos` fault plane uses;
+        :meth:`inject_disconnect` remains as the narrow legacy spelling.
+        """
+        self._fault = plan
+
     def _should_abort(self, session: _SinkSession) -> bool:
         fault = self._fault
         if fault is None or fault.times <= 0 or fault.mid_result:
@@ -887,6 +991,31 @@ class CheckpointDaemon:
         fault.times -= 1
         return True
 
+    def _take_ready_stall(self) -> float:
+        fault = self._fault
+        if fault is None or fault.stall_times <= 0 or fault.stall_ready_s <= 0:
+            return 0.0
+        fault.stall_times -= 1
+        return fault.stall_ready_s
+
+    def _take_ready_truncation(self) -> int:
+        fault = self._fault
+        if (
+            fault is None
+            or fault.truncate_times <= 0
+            or fault.truncate_ready_bytes <= 0
+        ):
+            return 0
+        fault.truncate_times -= 1
+        return fault.truncate_ready_bytes
+
+    def _should_drop_telemetry(self) -> bool:
+        fault = self._fault
+        if fault is None or fault.drop_telemetry_times <= 0:
+            return False
+        fault.drop_telemetry_times -= 1
+        return True
+
     # --- connection handling -------------------------------------------
 
     async def _on_connection(
@@ -894,8 +1023,17 @@ class CheckpointDaemon:
     ) -> None:
         stream = ShapedStream(reader, writer, link=self.link,
                               time_scale=self.time_scale)
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
         try:
             await self._serve_session(stream)
+        except asyncio.CancelledError:
+            # The daemon is stopping underneath this connection; the
+            # close below is the entire remaining obligation.  Ending
+            # normally keeps the cancellation out of the event loop's
+            # exception handler (asyncio.streams fetches our result).
+            pass
         except (
             asyncio.IncompleteReadError,
             ConnectionError,
@@ -913,16 +1051,46 @@ class CheckpointDaemon:
             )
             await self._send_error(stream, exc)
         finally:
+            if task is not None:
+                self._handlers.discard(task)
             await stream.close()
+
+    async def _send_ready(self, stream: ShapedStream, payload: bytes) -> None:
+        """Send a READY frame, applying any planned stall/truncation fault."""
+        stall = self._take_ready_stall()
+        if stall > 0:
+            self._count("daemon.injected_stalls")
+            await asyncio.sleep(stall)
+        cut = self._take_ready_truncation()
+        if cut > 0:
+            # Short READY, connection kept alive: the peer's next reads
+            # land mid-frame and desync instead of seeing a clean EOF.
+            self._count("daemon.injected_truncations")
+            payload = payload[: max(1, len(payload) - cut)]
+        await stream.send(payload)
 
     async def _send_error(self, stream: ShapedStream, exc: Exception) -> None:
         codec = FrameCodec()
-        code = getattr(exc, "code", "protocol")
+        # An unrecognised tag means this side lost frame alignment —
+        # report it as "desync" so the peer knows a fresh session (not a
+        # resume, and not a bug hunt) is the fix.
+        if isinstance(exc, StreamDesyncError):
+            code = "desync"
+        else:
+            code = getattr(exc, "code", "protocol")
         detail = getattr(exc, "detail", str(exc))
         try:
             await stream.send(codec.encode_error({"code": code, "message": detail}))
-        except (ConnectionError, OSError):  # pragma: no cover
-            pass
+        except (ConnectionError, OSError) as close_exc:
+            # The peer is gone; the ERROR frame is best-effort courtesy.
+            # Swallowing is correct — losing the *signal* was not.
+            self._count("daemon.close_errors")
+            log.debug(
+                "error frame undeliverable",
+                host=self.name,
+                code=code,
+                cause=f"{type(close_exc).__name__}: {close_exc}",
+            )
 
     def _session_for(self, hello: dict) -> Tuple[_SinkSession, FrameCodec]:
         for key in ("session", "vm_id", "num_pages", "mode", "page_size",
@@ -1068,6 +1236,13 @@ class CheckpointDaemon:
             await stream.send(codec.encode_inventory(body))
             return
         if hello.type == TYPE_TELEMETRY:
+            if self._should_drop_telemetry():
+                # Telemetry poll loss: tear the probe connection down
+                # unanswered.  The aggregator must count a poll failure
+                # and carry on; accumulated history must not reset.
+                self._count("daemon.injected_telemetry_drops")
+                stream.abort()
+                return
             # Metrics probe: answer with the next sequence-numbered
             # snapshot and close — same passive shape as HEARTBEAT.
             self._count("daemon.telemetry_probes")
@@ -1093,7 +1268,33 @@ class CheckpointDaemon:
             session=session.session_id,
             resumed=session.total_applied > 0,
         ):
-            await self._serve_frames(stream, recv, session, codec, hello)
+            try:
+                await self._serve_frames(stream, recv, session, codec, hello)
+            except (SinkProtocolError, FrameError):
+                # The stream violated the protocol mid-session.  Unlike
+                # a transport drop (where the applied counts are exact
+                # and a resume is safe), a desynced stream may have
+                # applied a frame assembled from misaligned bytes — the
+                # session's state can no longer be trusted, so retire
+                # it instead of offering a poisoned resume point.  The
+                # source starts over with a fresh session id.
+                if not session.completed:
+                    self._retire_session(session)
+                raise
+
+    def _retire_session(self, session: _SinkSession) -> None:
+        """Drop a poisoned in-progress session and its content refs."""
+        self._sessions.pop(session.session_id, None)
+        session.release_refs()
+        if self.repository is not None:
+            self.repository.drop_session(session.session_id)
+        self._count("daemon.sessions.poisoned")
+        self.flight.note(
+            "daemon.session_poisoned",
+            vm=session.vm_id,
+            session=session.session_id,
+            applied=session.total_applied,
+        )
 
     async def _serve_frames(
         self, stream: ShapedStream, recv, session: _SinkSession,
@@ -1107,17 +1308,20 @@ class CheckpointDaemon:
                 session=session.session_id,
                 replay=True,
             )
-            await stream.send(codec.encode_ready(session.round_no,
-                                                 session.applied_in_round,
-                                                 False, True))
+            await self._send_ready(
+                stream,
+                codec.encode_ready(session.round_no, session.applied_in_round,
+                                   False, True),
+            )
             await stream.send(codec.encode_result(session.result))
             return
 
         announce_follows, delta = self._plan_announce(session, hello.body)
-        await stream.send(
+        await self._send_ready(
+            stream,
             codec.encode_ready(
                 session.round_no, session.applied_in_round, announce_follows, False
-            )
+            ),
         )
         if announce_follows:
             with _span("daemon.announce", vm=session.vm_id) as announce_span:

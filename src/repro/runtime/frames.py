@@ -110,6 +110,33 @@ class FrameError(RuntimeError):
     """The byte stream does not parse as a valid protocol frame."""
 
 
+class StreamDesyncError(FrameError):
+    """The stream lost frame alignment (an unrecognised type tag).
+
+    Unlike a structural violation *inside* a known frame (bad JSON, an
+    oversized body, a stale delta generation), an unknown tag almost
+    always means the reader is mid-frame — e.g. the peer truncated a
+    frame and kept writing, so the next read lands on payload bytes.
+    The session's byte stream is poisoned, but the *fault* is a
+    transport-shaped one: reconnecting with a fresh session recovers,
+    so callers may treat this as retryable where a genuine codec
+    violation must fail fast.
+    """
+
+
+class PeerError(FrameError):
+    """The peer reported a structured ERROR frame instead of desyncing.
+
+    ``code`` is the peer's machine-readable error code (e.g. ``desync``
+    when a daemon detected misaligned bytes on its side, or
+    ``bad-slot`` for a genuine protocol violation).
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"peer error [{code}]: {message}")
+        self.code = code
+
+
 @dataclass(frozen=True, slots=True)
 class Frame:
     """One decoded protocol frame.
@@ -385,7 +412,7 @@ class FrameCodec:
             digest = await recv(self.digest_size)
             return Frame(tag, count=rounds, digest=digest,
                          wire_bytes=5 + self.digest_size)
-        raise FrameError(f"unknown frame type 0x{tag:02x}")
+        raise StreamDesyncError(f"unknown frame type 0x{tag:02x}")
 
 
 async def expect_frame(codec: FrameCodec, recv, *types: int) -> Frame:
@@ -400,9 +427,9 @@ async def expect_frame(codec: FrameCodec, recv, *types: int) -> Frame:
         return frame
     if frame.type == TYPE_ERROR and TYPE_ERROR not in types:
         body = frame.body or {}
-        raise FrameError(
-            f"peer error [{body.get('code', 'unknown')}]: "
-            f"{body.get('message', 'no detail')}"
+        raise PeerError(
+            str(body.get("code", "unknown")),
+            str(body.get("message", "no detail")),
         )
     wanted = "/".join(FRAME_NAMES.get(t, hex(t)) for t in types)
     raise FrameError(f"expected {wanted} frame, got {frame.name}")

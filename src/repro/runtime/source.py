@@ -22,6 +22,7 @@ from __future__ import annotations
 import asyncio
 import time
 import uuid
+import zlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
@@ -37,6 +38,8 @@ from repro.runtime.frames import (
     Frame,
     FrameCodec,
     FrameError,
+    PeerError,
+    StreamDesyncError,
     TYPE_ANNOUNCE,
     TYPE_DIGEST_DELTA,
     TYPE_READY,
@@ -80,14 +83,26 @@ class MigrationError(RuntimeError):
             "protocol", "verification", "rejected").
         metrics: The metrics collected up to the failure, outcome
             already marked "failed".
+        retryable: Whether a fresh attempt has a chance of succeeding.
+            Transport failures always are.  Protocol failures normally
+            are not — but a *stream desync* (truncated frame followed by
+            misaligned bytes, surfacing here as
+            :class:`~repro.runtime.frames.StreamDesyncError` or a peer
+            ``desync`` ERROR) is a connection-shaped fault wearing a
+            protocol error's clothes: reconnecting with a fresh session
+            recovers.  Callers that retry a retryable protocol error
+            must call :meth:`MigrationSource.reset_session` first, since
+            the old session's stream position can no longer be trusted.
     """
 
     def __init__(self, code: str, message: str,
-                 metrics: Optional[MigrationMetrics] = None) -> None:
+                 metrics: Optional[MigrationMetrics] = None,
+                 retryable: Optional[bool] = None) -> None:
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.detail = message
         self.metrics = metrics
+        self.retryable = (code == "transport") if retryable is None else retryable
 
 
 class _BatchWriter:
@@ -130,23 +145,42 @@ class _BatchWriter:
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded reconnect policy with exponential backoff."""
+    """Bounded reconnect policy with capped exponential backoff.
+
+    ``jitter`` spreads concurrent retriers apart without sacrificing
+    reproducibility: the jitter fraction is a pure function of
+    ``(key, retry_index)`` — no wall clock, no global RNG — so the same
+    VM retrying the same attempt always sleeps the same amount, while
+    different VMs hitting the same failure are decorrelated.
+    """
 
     max_attempts: int = 4
     base_backoff_s: float = 0.05
     backoff_factor: float = 2.0
     max_backoff_s: float = 2.0
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
 
-    def backoff(self, retry_index: int) -> float:
-        """Sleep before retry number ``retry_index`` (0-based)."""
-        return min(
+    def backoff(self, retry_index: int, key: str = "") -> float:
+        """Sleep before retry number ``retry_index`` (0-based).
+
+        The delay is ``base * factor**retry_index`` capped at
+        ``max_backoff_s``, then scaled by a deterministic factor in
+        ``[1 - jitter, 1 + jitter]`` derived from ``key``.
+        """
+        delay = min(
             self.base_backoff_s * self.backoff_factor**retry_index,
             self.max_backoff_s,
         )
+        if self.jitter:
+            fraction = zlib.crc32(f"{key}#{retry_index}".encode()) / 0xFFFFFFFF
+            delay *= 1.0 + self.jitter * (2.0 * fraction - 1.0)
+        return delay
 
 
 @dataclass(frozen=True)
@@ -171,6 +205,10 @@ class RuntimeConfig:
     pipelined: bool = False
     pipeline_chunk_pages: int = 2048
     pipeline_depth: int = 16
+    on_stream: Optional[Callable[[ShapedStream], None]] = None
+    """Called with every freshly opened source-side connection, before
+    any frame is sent — the fault plane's hook point (``repro.chaos``
+    installs per-connection send faults here).  None in production."""
 
 
 @dataclass
@@ -333,6 +371,22 @@ class MigrationSource:
             return None
         return frozenset(self._final_slot_digests())
 
+    def reset_session(self) -> None:
+        """Abandon the wire session and restart the next attempt fresh.
+
+        After a stream desync the destination's applied counts are no
+        longer trustworthy — resuming the same session could skip
+        messages the daemon never actually applied.  A new session id
+        makes the daemon start a clean session (applied = 0) on the
+        next :meth:`migrate`.  The planned rounds are kept (the plan is
+        a pure function of the VM state), and so is the per-message
+        payload accounting, so everything resent under the new session
+        is counted as retransmitted bytes rather than fresh payload.
+        """
+        self.session_id = f"{self.state.vm_id}-{uuid.uuid4().hex[:12]}"
+        self._final_result = None
+        self.result_generation = None
+
     # --- the protocol ---------------------------------------------------
 
     async def migrate(
@@ -395,7 +449,18 @@ class MigrationSource:
                 metrics.error = f"[protocol] {exc}"
                 metrics.wall_time_s = time.monotonic() - started
                 self._export_metrics(metrics)
-                raise MigrationError("protocol", str(exc), metrics) from exc
+                # A desync (unknown tag, or the peer detecting one on
+                # its side) is a torn-connection symptom, not a codec
+                # bug: mark it retryable so an orchestrator can re-run
+                # with a fresh session.  Genuine codec violations
+                # (bad JSON, stale delta generation, bad slot) keep
+                # retryable=False and fail fast.
+                desync = isinstance(exc, StreamDesyncError) or (
+                    isinstance(exc, PeerError) and exc.code == "desync"
+                )
+                raise MigrationError(
+                    "protocol", str(exc), metrics, retryable=desync
+                ) from exc
 
             metrics.outcome = "completed"
             metrics.wall_time_s = time.monotonic() - started
@@ -457,6 +522,8 @@ class MigrationSource:
                 host, port, link=self.link, time_scale=cfg.time_scale,
                 connect_timeout_s=cfg.connect_timeout_s,
             )
+        if cfg.on_stream is not None:
+            cfg.on_stream(stream)
         executor: Optional[ThreadPoolExecutor] = None
         prefetch: Optional[DigestPrefetch] = None
         if cfg.pipelined:
@@ -597,10 +664,14 @@ class MigrationSource:
                 sends = self._rounds[round_no - 1]
                 skip = resume_applied if round_no == resume_round else 0
                 if skip > len(sends):
-                    raise MigrationError(
-                        "protocol",
-                        f"destination applied {skip} messages of round "
-                        f"{round_no}, which only has {len(sends)}",
+                    # A sane destination can never have applied more
+                    # frames than the round holds; an over-claiming
+                    # READY means the reply stream lost alignment (a
+                    # truncated frame upstream), not that the peer is
+                    # malicious — retry with a fresh session.
+                    raise StreamDesyncError(
+                        f"destination claims {skip} applied messages of "
+                        f"round {round_no}, which only has {len(sends)}"
                     )
                 remaining = sends[skip:]
                 header = self.codec.encode_round(round_no, len(remaining))
@@ -709,6 +780,7 @@ class MigrationSource:
             "reused_in_place": body.get("reused_in_place", 0),
             "reused_from_store": body.get("reused_from_store", 0),
             "unique_contents": body.get("unique_contents", 0),
+            "rx_payload_bytes": body.get("rx_payload_bytes", 0),
         }
         if not body.get("ok", False):
             raise MigrationError(

@@ -364,6 +364,36 @@ class CheckpointRepository:
         )
         return True
 
+    def has_segment(self, digest: bytes) -> bool:
+        """Whether a durable segment exists for ``digest``.
+
+        A segment quarantined by :meth:`verify` no longer exists; a
+        daemon about to commit a manifest uses this to re-spill any
+        referenced content it still holds resident.
+        """
+        return self._segment_path(digest).exists()
+
+    def corrupt_segment(self, digest: bytes) -> bool:
+        """Flip one byte of the stored segment (fault injection only).
+
+        The deterministic disk-corruption primitive of the
+        :mod:`repro.chaos` fault plane: the segment keeps its length and
+        location but stops verifying, exactly like a latent media error
+        discovered on the next scrub.  Returns False when no such
+        segment exists.
+        """
+        path = self._segment_path(digest)
+        try:
+            data = bytearray(path.read_bytes())
+        except OSError:
+            return False
+        if not data:
+            return False
+        data[0] ^= 0xFF
+        path.write_bytes(bytes(data))
+        get_registry().counter("repo.injected_corruptions").add()
+        return True
+
     def get_page(self, digest: bytes) -> Optional[bytes]:
         """The stored page bytes for ``digest``, or None."""
         try:
