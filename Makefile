@@ -11,9 +11,14 @@ install:
 test:
 	python -m pytest tests/ -x -q
 
-# Requires ruff (`pip install ruff`); CI runs the same check.
+# Requires ruff (`pip install ruff`); CI runs the same checks and
+# archives the JSON report.  `vecycle lint` is the project-aware pass:
+# wire-protocol exhaustiveness, metric/fault-point registries, async
+# safety, seeded determinism (see docs/static-analysis.md).
 lint:
 	ruff check src tests benchmarks
+	python -m repro lint --format json > lint-report.json || \
+		{ python -m repro lint; exit 1; }
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only

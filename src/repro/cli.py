@@ -529,6 +529,31 @@ def _cmd_repo(args: argparse.Namespace) -> str:
     return f"reclaimed {freed} bytes of unreferenced segments"
 
 
+def _cmd_lint(args: argparse.Namespace) -> str:
+    """Run the project-aware static-analysis suite (repro.lint)."""
+    from repro.lint.cli import run as lint_run
+
+    forwarded: list = []
+    if args.root is not None:
+        forwarded += ["--root", str(args.root)]
+    if args.format != "text":
+        forwarded += ["--format", args.format]
+    if args.baseline is not None:
+        forwarded += ["--baseline", str(args.baseline)]
+    if args.no_baseline:
+        forwarded.append("--no-baseline")
+    if args.write_baseline:
+        forwarded.append("--write-baseline")
+    if args.rules:
+        forwarded += ["--rules", args.rules]
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    # The report is printed by the runner; the exit status (0 clean,
+    # 1 findings, 2 usage) is the command's whole contract, so bypass
+    # main()'s print-and-return-0 path.
+    raise SystemExit(lint_run(forwarded))
+
+
 def _cmd_obs(args: argparse.Namespace) -> str:
     """Trace a demo live migration, or convert an existing event log."""
     if args.from_jsonl:
@@ -862,6 +887,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="repository root (the daemon's --state-dir)",
     )
     prepo.set_defaults(func=_cmd_repo)
+
+    plint = add_parser(
+        "lint",
+        help="project-aware static analysis (protocol, metrics, "
+        "fault points, async safety, determinism)",
+        # Reclaim --format from the shared observability flags: for
+        # this subcommand it selects the report format, not a trace.
+        conflict_handler="resolve",
+    )
+    plint.add_argument("--root", default=None,
+                       help="repository root (default: auto-detected)")
+    plint.add_argument("--format", dest="format",
+                       choices=("text", "json"), default="text",
+                       help="report format (json is what CI archives)")
+    plint.add_argument("--baseline", default=None,
+                       help="baseline file (default: <root>/lint-baseline.json)")
+    plint.add_argument("--no-baseline", action="store_true",
+                       help="report grandfathered findings as new")
+    plint.add_argument("--write-baseline", action="store_true",
+                       help="grandfather current findings and exit 0")
+    plint.add_argument("--rules", default=None,
+                       help="comma-separated rule ids to run")
+    plint.add_argument("--list-rules", action="store_true")
+    plint.set_defaults(func=_cmd_lint)
     return parser
 
 

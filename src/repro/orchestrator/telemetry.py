@@ -68,6 +68,10 @@ class TelemetryAggregator:
         max_vm_labels: Cluster-side per-VM label cap; VMs beyond it
             fold into the overflow label (daemons apply the same guard
             locally, but the cluster-wide union can be larger).
+        clock: Wallclock source for sample/dashboard timestamps.
+            Injectable so chaos soaks and tests replay deterministically
+            (the ``vecycle lint`` determinism rule rejects bare
+            ``time.time()`` calls in this module).
     """
 
     def __init__(
@@ -76,10 +80,12 @@ class TelemetryAggregator:
         poll_timeout_s: float = 5.0,
         max_series: int = DEFAULT_MAX_SERIES,
         max_vm_labels: int = 64,
+        clock: Callable[[], float] = time.time,
     ) -> None:
         self.registry = registry
         self.poll_timeout_s = poll_timeout_s
         self.max_vm_labels = max_vm_labels
+        self._clock = clock
         self._last: Dict[str, MetricsSnapshot] = {}
         self._acc: Dict[str, Dict[str, Dict[str, Any]]] = {}
         self._vm_acc: Dict[str, Dict[str, float]] = {}
@@ -219,7 +225,7 @@ class TelemetryAggregator:
         cluster = self.cluster_instruments()
         self.series.append(
             {
-                "taken_at": time.time(),
+                "taken_at": self._clock(),
                 "recycled_bytes": _counter_value(
                     cluster, "daemon.recycled_bytes"
                 ),
@@ -301,7 +307,9 @@ class TelemetryAggregator:
                 {
                     "host": name,
                     "seq": last.seq if last else 0,
-                    "age_s": time.time() - last.taken_at if last else None,
+                    "age_s": (
+                        self._clock() - last.taken_at if last else None
+                    ),
                     "sessions_completed": _counter_value(
                         acc, "daemon.sessions.completed"
                     ),
@@ -316,7 +324,7 @@ class TelemetryAggregator:
             )
         active = local.get("orchestrator.migrations.active", {})
         return {
-            "taken_at": time.time(),
+            "taken_at": self._clock(),
             "controller": self.registry.controller_id,
             "hosts": hosts,
             "cluster": {

@@ -57,8 +57,10 @@ from repro.runtime.frames import (
     Frame,
     FrameCodec,
     FrameError,
+    PAGE_FRAME_TYPES,
     StreamDesyncError,
     TYPE_COMPLETE,
+    TYPE_ERROR,
     TYPE_HEARTBEAT,
     TYPE_HELLO,
     TYPE_PAGE_CHECKSUM,
@@ -202,47 +204,62 @@ class _SinkSession:
             raise SinkProtocolError(
                 "bad-slot", f"page number {slot} outside [0, {self.num_pages})"
             )
-        if frame.type == TYPE_PAGE_PLAIN:
-            digest = self.algorithm.digest(frame.payload)
-            self.store.put(digest, frame.payload)
-            self._set_slot(slot, digest)
-        elif frame.type == TYPE_PAGE_FULL:
-            # §3.2: the attached checksum saves the receiver from
-            # re-hashing the page; the sender is trusted here exactly as
-            # in the prototype.
-            self.store.put(frame.digest, frame.payload)
-            self._set_slot(slot, frame.digest)
-        elif frame.type == TYPE_PAGE_CHECKSUM:
-            if self.slot_digests[slot] == frame.digest:
-                self.reused_in_place += 1
-            else:
-                if frame.digest not in self.store:
-                    raise SinkProtocolError(
-                        "missing-content",
-                        f"page {slot}: checksum announced but absent from "
-                        "the content store",
-                    )
-                self._set_slot(slot, frame.digest)
-                self.reused_from_store += 1
-        elif frame.type == TYPE_PAGE_REF:
-            if not 0 <= frame.ref < self.num_pages:
-                raise SinkProtocolError(
-                    "bad-ref", f"dedup reference to slot {frame.ref} out of range"
-                )
-            target = self.slot_digests[frame.ref]
-            if target is None:
-                raise SinkProtocolError(
-                    "bad-ref",
-                    f"page {slot}: dedup reference to slot {frame.ref}, "
-                    "which has not been received",
-                )
-            self._set_slot(slot, target)
-        else:  # pragma: no cover - the connection loop filters types
+        applier = self._PAGE_APPLIERS.get(frame.type)
+        if applier is None:  # pragma: no cover - the connection loop filters
             raise SinkProtocolError("bad-frame", f"unexpected frame {frame.name}")
+        applier(self, slot, frame)
         self.pages_received += 1
         self.rx_payload_bytes += frame.wire_bytes
         self.applied_in_round += 1
         self.total_applied += 1
+
+    def _apply_plain(self, slot: int, frame: Frame) -> None:
+        digest = self.algorithm.digest(frame.payload)
+        self.store.put(digest, frame.payload)
+        self._set_slot(slot, digest)
+
+    def _apply_full(self, slot: int, frame: Frame) -> None:
+        # §3.2: the attached checksum saves the receiver from
+        # re-hashing the page; the sender is trusted here exactly as
+        # in the prototype.
+        self.store.put(frame.digest, frame.payload)
+        self._set_slot(slot, frame.digest)
+
+    def _apply_checksum(self, slot: int, frame: Frame) -> None:
+        if self.slot_digests[slot] == frame.digest:
+            self.reused_in_place += 1
+            return
+        if frame.digest not in self.store:
+            raise SinkProtocolError(
+                "missing-content",
+                f"page {slot}: checksum announced but absent from "
+                "the content store",
+            )
+        self._set_slot(slot, frame.digest)
+        self.reused_from_store += 1
+
+    def _apply_ref(self, slot: int, frame: Frame) -> None:
+        if not 0 <= frame.ref < self.num_pages:
+            raise SinkProtocolError(
+                "bad-ref", f"dedup reference to slot {frame.ref} out of range"
+            )
+        target = self.slot_digests[frame.ref]
+        if target is None:
+            raise SinkProtocolError(
+                "bad-ref",
+                f"page {slot}: dedup reference to slot {frame.ref}, "
+                "which has not been received",
+            )
+        self._set_slot(slot, target)
+
+    # One dispatch arm per PAGE_FRAME_TYPES member; repro.lint rule
+    # protocol-exhaustiveness checks this stays in sync with frames.py.
+    _PAGE_APPLIERS = {
+        TYPE_PAGE_PLAIN: _apply_plain,
+        TYPE_PAGE_FULL: _apply_full,
+        TYPE_PAGE_CHECKSUM: _apply_checksum,
+        TYPE_PAGE_REF: _apply_ref,
+    }
 
     def _set_slot(self, slot: int, digest: bytes) -> None:
         """Assign ``digest`` to ``slot``, moving the store references."""
@@ -1221,34 +1238,60 @@ class CheckpointDaemon:
             )
         return True, None
 
+    async def _answer_heartbeat(self, stream: ShapedStream,
+                                codec: FrameCodec, hello: Frame) -> None:
+        # Control-plane liveness probe: answer with the inventory
+        # report and close — no migration session is created.
+        self._count("daemon.heartbeats")
+        body = self.inventory_report(
+            sketch_k=int(hello.body.get("sketch_k", 0)) or None
+        )
+        body["seq"] = hello.body.get("seq")
+        await stream.send(codec.encode_inventory(body))
+
+    async def _answer_telemetry(self, stream: ShapedStream,
+                                codec: FrameCodec, hello: Frame) -> None:
+        if self._should_drop_telemetry():
+            # Telemetry poll loss: tear the probe connection down
+            # unanswered.  The aggregator must count a poll failure
+            # and carry on; accumulated history must not reset.
+            self._count("daemon.injected_telemetry_drops")
+            stream.abort()
+            return
+        # Metrics probe: answer with the next sequence-numbered
+        # snapshot and close — same passive shape as HEARTBEAT.
+        self._count("daemon.telemetry_probes")
+        body = self.telemetry.snapshot().to_dict()
+        body["probe_seq"] = hello.body.get("seq")
+        await stream.send(codec.encode_telemetry(body))
+
+    async def _drop_peer_error(self, stream: ShapedStream,
+                               codec: FrameCodec, hello: Frame) -> None:
+        # A peer opened the connection just to report a structured
+        # error (e.g. a confused controller).  Replying with our own
+        # ERROR would only bounce back at it; log and close instead.
+        body = hello.body or {}
+        self._count("daemon.peer_errors")
+        log.warning(
+            "peer opened with ERROR frame",
+            host=self.name,
+            code=body.get("code", "unknown"),
+            message=body.get("message", ""),
+        )
+
     async def _serve_session(self, stream: ShapedStream) -> None:
         codec = FrameCodec()
         recv = stream.recv_with_timeout(self.io_timeout_s)
         hello = await codec.read_frame(recv)
-        if hello.type == TYPE_HEARTBEAT:
-            # Control-plane liveness probe: answer with the inventory
-            # report and close — no migration session is created.
-            self._count("daemon.heartbeats")
-            body = self.inventory_report(
-                sketch_k=int(hello.body.get("sketch_k", 0)) or None
-            )
-            body["seq"] = hello.body.get("seq")
-            await stream.send(codec.encode_inventory(body))
-            return
-        if hello.type == TYPE_TELEMETRY:
-            if self._should_drop_telemetry():
-                # Telemetry poll loss: tear the probe connection down
-                # unanswered.  The aggregator must count a poll failure
-                # and carry on; accumulated history must not reset.
-                self._count("daemon.injected_telemetry_drops")
-                stream.abort()
-                return
-            # Metrics probe: answer with the next sequence-numbered
-            # snapshot and close — same passive shape as HEARTBEAT.
-            self._count("daemon.telemetry_probes")
-            body = self.telemetry.snapshot().to_dict()
-            body["probe_seq"] = hello.body.get("seq")
-            await stream.send(codec.encode_telemetry(body))
+        # Control-plane openers dispatch off the frame tag; anything
+        # else must be a migration HELLO.
+        opener = {
+            TYPE_HEARTBEAT: self._answer_heartbeat,
+            TYPE_TELEMETRY: self._answer_telemetry,
+            TYPE_ERROR: self._drop_peer_error,
+        }.get(hello.type)
+        if opener is not None:
+            await opener(stream, codec, hello)
             return
         if hello.type != TYPE_HELLO:
             raise SinkProtocolError("bad-hello", f"expected HELLO, got {hello.name}")
@@ -1372,8 +1415,7 @@ class CheckpointDaemon:
                     received = 0
                     while received < frame.count:
                         page = await codec.read_frame(recv)
-                        if page.type not in (TYPE_PAGE_FULL, TYPE_PAGE_CHECKSUM,
-                                             TYPE_PAGE_REF, TYPE_PAGE_PLAIN):
+                        if page.type not in PAGE_FRAME_TYPES:
                             raise SinkProtocolError(
                                 "bad-frame",
                                 f"expected a page frame mid-round, got {page.name}",

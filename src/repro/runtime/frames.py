@@ -81,6 +81,13 @@ PAGE_FRAME_TYPES = frozenset(
     (TYPE_PAGE_FULL, TYPE_PAGE_CHECKSUM, TYPE_PAGE_REF, TYPE_PAGE_PLAIN)
 )
 
+JSON_FRAME_TYPES = frozenset(
+    (TYPE_HELLO, TYPE_RESULT, TYPE_ERROR, TYPE_HEARTBEAT, TYPE_INVENTORY,
+     TYPE_TELEMETRY)
+)
+"""Tags whose payload is ``u32 len | JSON`` — decoded by one shared
+branch of :meth:`FrameCodec.read_frame`."""
+
 FRAME_NAMES = {
     TYPE_HELLO: "hello",
     TYPE_READY: "ready",
@@ -98,6 +105,38 @@ FRAME_NAMES = {
     TYPE_TELEMETRY: "telemetry",
     TYPE_DIGEST_DELTA: "digest_delta",
 }
+
+FRAME_TYPES = {name: tag for tag, name in FRAME_NAMES.items()}
+"""Frame name → type tag, the inverse of :data:`FRAME_NAMES`.  This is
+the registry ``repro.lint`` treats as the single source of truth: every
+``TYPE_*`` constant must appear here, carry a distinct tag, and be
+encoded, decoded, and dispatched somewhere — see
+:mod:`repro.lint.rules.protocol`."""
+
+FRAME_CONSUMERS = {
+    TYPE_HELLO: ("daemon",),
+    TYPE_READY: ("source",),
+    TYPE_ANNOUNCE: ("source",),
+    TYPE_RESULT: ("source",),
+    TYPE_ERROR: ("daemon",),
+    TYPE_PAGE_FULL: ("daemon",),
+    TYPE_PAGE_CHECKSUM: ("daemon",),
+    TYPE_PAGE_REF: ("daemon",),
+    TYPE_PAGE_PLAIN: ("daemon",),
+    TYPE_ROUND: ("daemon",),
+    TYPE_COMPLETE: ("daemon",),
+    TYPE_HEARTBEAT: ("daemon",),
+    TYPE_INVENTORY: ("controller",),
+    TYPE_TELEMETRY: ("daemon", "controller"),
+    TYPE_DIGEST_DELTA: ("source",),
+}
+"""Which endpoint dispatches on each tag: ``daemon`` is the receiving
+:mod:`~repro.runtime.daemon`, ``source`` the sending
+:mod:`~repro.runtime.source`/:mod:`~repro.runtime.pipeline`, and
+``controller`` the orchestrator's registry/telemetry pollers.  The
+protocol lint rule checks every listed consumer actually references the
+tag, so deleting a dispatch arm fails ``vecycle lint`` before any soak
+would notice."""
 
 DIGEST_DELTA_OVERHEAD = 17
 """Frame bytes before the digest lists: tag + four u32 fields."""
@@ -342,8 +381,7 @@ class FrameCodec:
             return Frame(tag, page_no=int.from_bytes(head[:pn], "big"),
                          payload=head[pn:],
                          wire_bytes=self.wire.message_bytes("plain"))
-        if tag in (TYPE_HELLO, TYPE_RESULT, TYPE_ERROR, TYPE_HEARTBEAT,
-                   TYPE_INVENTORY, TYPE_TELEMETRY):
+        if tag in JSON_FRAME_TYPES:
             (length,) = struct.unpack(">I", await recv(4))
             if length > _MAX_JSON_BODY:
                 raise FrameError(f"JSON body of {length} bytes exceeds limit")

@@ -427,3 +427,68 @@ def test_stop_cancels_stalled_handlers_cleanly():
     assert not handlers
     assert leaked == []
     assert captured == []
+
+
+# --- bug class: the telemetry-loss fault knob must be observable ----------
+
+
+def test_telemetry_drop_knob_aborts_probe_and_counts():
+    """``drop_telemetry_times`` drops exactly N probes, visibly.
+
+    The soak's ``telemetry_loss`` kind arms this knob; the contract is
+    that the armed probe dies unanswered (aggregator counts a failure,
+    keeps its history) while ``daemon.injected_telemetry_drops`` records
+    the injection, and the very next probe succeeds.
+    """
+
+    async def scenario():
+        from repro.orchestrator.registry import ClusterRegistry
+        from repro.orchestrator.telemetry import TelemetryAggregator
+
+        registry = ClusterRegistry()
+        aggregator = TelemetryAggregator(registry, poll_timeout_s=1.0)
+        async with CheckpointDaemon(name="lossy") as daemon:
+            daemon.install_fault_plan(_FaultPlan(drop_telemetry_times=1))
+            registry.register("lossy", daemon.host, daemon.port)
+            dropped = await aggregator.poll("lossy")
+            recovered = await aggregator.poll("lossy")
+            return dropped, recovered, aggregator, daemon.telemetry
+
+    dropped, recovered, aggregator, telemetry = asyncio.run(scenario())
+    assert dropped is None
+    assert recovered is not None
+    assert aggregator.poll_failures == 1
+    assert telemetry.counter("daemon.injected_telemetry_drops").value == 1
+
+
+# --- bug: an ERROR-frame opener fell through to the HELLO path ------------
+
+
+def test_error_frame_opener_is_dropped_and_counted():
+    """A peer opening with ERROR is logged and closed, not a protocol bug.
+
+    Before the opener dispatch table, an ERROR first frame raised
+    ``bad-hello`` and bounced an ERROR back at the erroring peer.  Now
+    it lands in the ``daemon.peer_errors`` arm: counted, logged, and
+    the connection closed without a reply.
+    """
+
+    async def scenario():
+        async with CheckpointDaemon(name="patient") as daemon:
+            reader, writer = await asyncio.open_connection(
+                daemon.host, daemon.port
+            )
+            codec = FrameCodec()
+            writer.write(
+                codec.encode_error(
+                    {"code": "confused-controller", "message": "oops"}
+                )
+            )
+            await writer.drain()
+            reply = await asyncio.wait_for(reader.read(), timeout=5.0)
+            writer.close()
+            return reply, daemon.telemetry
+
+    reply, telemetry = asyncio.run(scenario())
+    assert reply == b""  # closed without bouncing an ERROR back
+    assert telemetry.counter("daemon.peer_errors").value == 1

@@ -1,0 +1,36 @@
+"""Shared fixtures for the lint-suite tests.
+
+The rules are pure functions of a :class:`~repro.lint.core.Project`,
+so most tests lint the *real* committed tree with targeted in-memory
+``overrides`` — mutating one file's text without touching disk — and
+assert the mutation turns into (or stays free of) findings.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Project
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="session")
+def repo_root() -> Path:
+    return REPO_ROOT
+
+
+@pytest.fixture()
+def project() -> Project:
+    """The committed tree, unmutated."""
+    return Project(REPO_ROOT)
+
+
+@pytest.fixture()
+def mutate():
+    """``mutate({"src/...": new_text_or_None}) -> Project``."""
+
+    def _mutate(overrides):
+        return Project(REPO_ROOT, overrides=overrides)
+
+    return _mutate

@@ -1,0 +1,74 @@
+"""Pinned regressions: orchestrator wallclock is an injected dependency.
+
+Found by ``vecycle lint``'s determinism rule: ``ClusterRegistry`` and
+``TelemetryAggregator`` read ``time.time()`` directly, so chaos-soak
+replays of heartbeat/telemetry loss produced timestamps that differed
+run to run.  Both now take a ``clock`` callable (default wallclock);
+these tests pin that the injected clock is the only time source behind
+``last_seen``, series samples, and dashboard ages.
+"""
+
+import asyncio
+
+from repro.orchestrator.registry import ClusterRegistry
+from repro.orchestrator.telemetry import TelemetryAggregator
+from repro.runtime import CheckpointDaemon
+
+
+class _TickClock:
+    """A deterministic clock: advances by one second per reading."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+def test_registry_last_seen_comes_from_injected_clock():
+    clock = _TickClock(start=500.0)
+
+    async def scenario():
+        registry = ClusterRegistry(clock=clock)
+        async with CheckpointDaemon(name="a") as daemon:
+            registry.register("a", daemon.host, daemon.port)
+            record = await registry.poll("a")
+            return record.alive, record.last_seen
+
+    alive, last_seen = asyncio.run(scenario())
+    assert alive
+    assert last_seen == 501.0  # first (and only) clock reading
+
+
+def test_aggregator_sample_and_dashboard_use_injected_clock():
+    clock = _TickClock(start=2000.0)
+
+    async def scenario():
+        registry = ClusterRegistry(controller_id="ctl")
+        aggregator = TelemetryAggregator(registry, clock=clock)
+        async with CheckpointDaemon(name="a") as daemon:
+            registry.register("a", daemon.host, daemon.port)
+            await aggregator.poll_all()
+            snapshot = aggregator._last["a"]
+            view = aggregator.dashboard_view()
+            return list(aggregator.series), view, snapshot
+
+    series, view, snapshot = asyncio.run(scenario())
+    # One poll_all = one series sample; its stamp is the clock reading.
+    assert [sample["taken_at"] for sample in series] == [2001.0]
+    # The dashboard ages the daemon's snapshot with the same injected
+    # clock: reading two (2002.0) minus the snapshot's own stamp.
+    (host,) = view["hosts"]
+    assert host["age_s"] == 2002.0 - snapshot.taken_at
+    assert view["taken_at"] == 2003.0
+
+
+def test_default_clock_is_wallclock():
+    # The default stays time.time so operator-facing ages remain real.
+    registry = ClusterRegistry()
+    aggregator = TelemetryAggregator(registry)
+    import time
+
+    assert registry._clock is time.time
+    assert aggregator._clock is time.time
